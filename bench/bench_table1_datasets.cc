@@ -1,0 +1,34 @@
+// Reproduces Table I (paper Section V-A.2): per-dataset node count, edge
+// count and 90% effective diameter, for the synthetic stand-ins described in
+// DESIGN.md §3, side by side with the values the paper reports.
+
+#include <iostream>
+
+#include "src/graph/datasets.h"
+#include "src/graph/graph_stats.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace mto;
+  PrintBanner(std::cout, "Table I: local datasets (paper vs stand-in)");
+  Table table({"dataset", "paper nodes", "nodes", "paper edges", "edges",
+               "paper 90% diam", "90% diam", "avg deg", "clustering"});
+  for (const DatasetInfo& info : ListDatasets()) {
+    Graph g = MakeDataset(info.name);
+    Rng rng(0xD1A7);
+    double diam = EffectiveDiameter90(g, rng, 64);
+    auto num = [](double v, int p) { return Table::Num(v, p); };
+    table.AddRow({info.name,
+                  info.paper_nodes ? std::to_string(info.paper_nodes) : "-",
+                  std::to_string(g.num_nodes()),
+                  info.paper_edges ? std::to_string(info.paper_edges) : "-",
+                  std::to_string(g.num_edges()),
+                  info.paper_diameter90 ? num(info.paper_diameter90, 1) : "-",
+                  num(diam, 1), num(AverageDegree(g), 2),
+                  num(AverageClustering(g), 3)});
+  }
+  table.PrintText(std::cout);
+  std::cout << "\nCSV:\n";
+  table.PrintCsv(std::cout);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Validates Theorem 6 / eq. (13) (Section IV-B): on the latent-space model
+// with r = 0.7 over [0,4] x [0,5] and alpha = +infinity, the expected
+// conductance of the post-removal overlay satisfies
+//   E[Phi(G*)] >= factor * Phi(G),   factor = 1/(1 - P(d <= d0)) ~ 1.05.
+// The bench prints the closed-form bound pieces and the measured ratio
+// Phi(G*) / Phi(G) over random instances (exact conductance, n <= 25;
+// sweep-cut approximation for larger n).
+
+#include <cstring>
+#include <iostream>
+
+#include "src/core/full_overlay.h"
+#include "src/experiments/latent_space_theory.h"
+#include "src/graph/builder.h"
+#include "src/graph/graph_stats.h"
+#include "src/spectral/conductance.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mto;
+  size_t seeds = 40;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+      seeds = static_cast<size_t>(std::stoul(argv[++i]));
+    }
+  }
+  LatentSpaceParams params;
+  params.a = 4.0;
+  params.b = 5.0;
+  params.r = 0.7;
+  params.alpha = std::numeric_limits<double>::infinity();
+
+  PrintBanner(std::cout, "Theorem 6: closed-form bound pieces");
+  const double d0 = RemovableDistanceThreshold(params.r, 2);
+  std::cout << "d0 (eq. 24 constant)         = " << Table::Num(d0, 4) << "\n";
+  std::cout << "d0 (theorem-form constant)   = "
+            << Table::Num(RemovableDistanceThreshold(params.r, 2, false), 4)
+            << "\n";
+  std::cout << "P(d <= d0)                   = "
+            << Table::Num(PairDistanceCdf(d0, params.a, params.b), 4) << "\n";
+  std::cout << "expected removable fraction  = "
+            << Table::Num(ExpectedRemovableFraction(params), 4) << "\n";
+  std::cout << "conductance gain factor      = "
+            << Table::Num(ConductanceGainFactor(params), 4)
+            << "   (paper eq. 13: 1.052)\n";
+
+  PrintBanner(std::cout, "Measured conductance gain from removals");
+  Table table({"n", "instances", "mean phi(G)", "mean phi(G*)",
+               "mean gain", "bound"});
+  for (NodeId n : {20u, 60u, 120u}) {
+    params.n = n;
+    RunningStats phi_g, phi_star, gain;
+    for (uint64_t seed = 0; seed < seeds; ++seed) {
+      Rng rng(0x7E06000 + seed * 131 + n);
+      Graph g = LargestComponent(LatentSpace(params, rng).graph);
+      if (g.num_nodes() < n / 2 || g.num_edges() < g.num_nodes()) continue;
+      auto conductance = [&](const Graph& graph) {
+        return graph.num_nodes() <= 25 ? ExactConductance(graph)
+                                       : SweepConductance(graph);
+      };
+      double before = conductance(g);
+      if (before <= 0.0) continue;
+      MtoConfig config;
+      config.enable_replacement = false;
+      config.criterion_basis = CriterionBasis::kOriginal;  // topology analysis
+      Rng orng(seed);
+      FullOverlayResult result = BuildFullOverlay(g, config, orng);
+      double after = conductance(result.overlay);
+      phi_g.Add(before);
+      phi_star.Add(after);
+      gain.Add(after / before);
+    }
+    table.AddRow({std::to_string(n), std::to_string(phi_g.count()),
+                  Table::Num(phi_g.Mean(), 4), Table::Num(phi_star.Mean(), 4),
+                  Table::Num(gain.Mean(), 3),
+                  Table::Num(ConductanceGainFactor(params), 3)});
+  }
+  table.PrintText(std::cout);
+  std::cout << "\nExpected shape: mean gain >= bound (the bound is\n"
+               "conservative; eq. 13 promises only a 5% improvement while\n"
+               "measured overlays typically gain more).\n";
+  return 0;
+}

@@ -1,0 +1,37 @@
+#include "src/core/edge_rules.h"
+
+#include <algorithm>
+
+namespace mto {
+
+bool RemovalCriterion(uint32_t common, uint32_t ku, uint32_t kv) {
+  // ceil(c/2) + 1 > max/2  <=>  2*ceil(c/2) + 2 > max   (exact integers)
+  const uint32_t lhs_twice = 2 * ((common + 1) / 2) + 2;
+  return lhs_twice > std::max(ku, kv);
+}
+
+bool RemovalCriterionExtended(uint32_t common, uint32_t ku, uint32_t kv,
+                              std::span<const uint32_t> known_small_degrees) {
+  uint32_t n_star = 0;
+  uint32_t bonus = 0;  // Σ (4 - kw) over valid N* members
+  for (uint32_t kw : known_small_degrees) {
+    if (n_star == common) break;  // defensive: N* ⊆ N(u)∩N(v)
+    if (kw == 2 || kw == 3) {
+      ++n_star;
+      bonus += 4 - kw;
+    }
+  }
+  // ceil((n - s)/2) + 1 + bonus/2 > max/2
+  //   <=>  2*ceil((n - s)/2) + 2 + bonus > max
+  const uint32_t rest = common - n_star;
+  const uint32_t lhs_twice = 2 * ((rest + 1) / 2) + 2 + bonus;
+  return lhs_twice > std::max(ku, kv);
+}
+
+bool ReplacementAllowed(uint32_t kv) { return kv == 3; }
+
+bool RemovalWouldIsolate(uint32_t ku, uint32_t kv) {
+  return ku <= 1 || kv <= 1;
+}
+
+}  // namespace mto

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace mto {
+
+/// Pure implementations of the paper's edge-classification criteria.
+/// All quantities refer to the *overlay* neighborhoods maintained by the
+/// walk (see DESIGN.md §5): the algorithm mutates its working copy of N(u)
+/// as it classifies edges, so later decisions see the updated lists.
+
+/// Theorem 3 (Edge Removal Criteria): the edge (u, v) is provably
+/// non-cross-cutting — and therefore safe to remove from the overlay —
+/// when ceil(|N(u) ∩ N(v)| / 2) + 1 > max(ku, kv) / 2.
+///
+/// `common` is |N(u) ∩ N(v)|; `ku`, `kv` are the endpoint degrees.
+/// Evaluated in exact integer arithmetic.
+bool RemovalCriterion(uint32_t common, uint32_t ku, uint32_t kv);
+
+/// Theorem 5 (degree-extension): with cached degree knowledge of common
+/// neighbors, the removal criterion relaxes to
+///   ceil((n - |N*|) / 2) + 1 + (1/2) * Σ_{w∈N*} (4 - kw)  >  max(ku, kv) / 2
+/// where N* ⊆ N(u) ∩ N(v) is the subset of common neighbors whose degree kw
+/// is known and satisfies 2 <= kw <= 3.
+///
+/// `common` is n = |N(u) ∩ N(v)|; `known_small_degrees` holds the kw values
+/// of N* (each must be 2 or 3; values outside are ignored defensively).
+/// With an empty N* this reduces exactly to Theorem 3.
+bool RemovalCriterionExtended(uint32_t common, uint32_t ku, uint32_t kv,
+                              std::span<const uint32_t> known_small_degrees);
+
+/// Theorem 4 / Corollary 2: an edge (u, v) may be replaced by (u, w) with
+/// w ∈ N(v) without ever decreasing conductance iff deg(v) == 3.
+bool ReplacementAllowed(uint32_t kv);
+
+/// Safety guard on top of Theorem 3/5 (DESIGN.md §5): refuse removals that
+/// would isolate an endpoint of the edge (overlay degree would drop to 0).
+/// On connected graphs with >= 3 nodes the guard provably never fires
+/// (the criterion requires a common neighbor when ku, kv <= 2), but it makes
+/// the sampler total on degenerate inputs such as an isolated K2.
+bool RemovalWouldIsolate(uint32_t ku, uint32_t kv);
+
+}  // namespace mto

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "src/core/mto_sampler.h"
+#include "src/graph/graph.h"
+#include "src/util/rng.h"
+
+namespace mto {
+
+/// Result of materializing the complete overlay G* offline.
+struct FullOverlayResult {
+  Graph overlay;
+  size_t edges_removed = 0;
+  size_t edges_replaced = 0;
+  /// Removal sweeps run until the criterion reached a fixpoint.
+  size_t removal_passes = 0;
+};
+
+/// Applies the MTO rewiring rules to *every* edge of `g`, producing the
+/// overlay the paper uses for its theoretical verification ("we continuously
+/// ran our MTO-Sampler until it hits each node at least once — so we could
+/// actually obtain the topology of the overlay graph", Section V-A.3).
+///
+/// Removal (Theorem 3) is applied in random edge order, sweeping until a
+/// fixpoint — evaluation is on the current overlay, so order matters; `rng`
+/// controls it. Replacement (Theorem 4) is then a single random-order pass
+/// over degree-3 nodes with the configured coin, followed by another removal
+/// fixpoint when both rules are enabled. `config.lazy`, `degree_probe` and
+/// `max_inner_iterations` are ignored here; the extension (Theorem 5) uses
+/// overlay degrees of all nodes (full knowledge).
+FullOverlayResult BuildFullOverlay(const Graph& g, const MtoConfig& config,
+                                   Rng& rng);
+
+}  // namespace mto

@@ -1,0 +1,218 @@
+#include "src/core/overlay_graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mto {
+
+uint64_t OverlayGraph::Key(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+void OverlayGraph::RegisterNode(NodeId v,
+                                std::span<const NodeId> original_neighbors) {
+  if (adjacency_.count(v) != 0) return;
+  std::vector<NodeId> nbrs(original_neighbors.begin(),
+                           original_neighbors.end());
+  std::sort(nbrs.begin(), nbrs.end());
+  original_.emplace(v, nbrs);
+  // Apply recorded removals.
+  if (!removed_.empty()) {
+    nbrs.erase(std::remove_if(nbrs.begin(), nbrs.end(),
+                              [&](NodeId w) {
+                                return removed_.count(Key(v, w)) != 0;
+                              }),
+               nbrs.end());
+  }
+  // Apply recorded additions involving v.
+  if (!added_.empty()) {
+    for (uint64_t key : added_) {
+      NodeId a = static_cast<NodeId>(key >> 32);
+      NodeId b = static_cast<NodeId>(key & 0xFFFFFFFFu);
+      NodeId other;
+      if (a == v) {
+        other = b;
+      } else if (b == v) {
+        other = a;
+      } else {
+        continue;
+      }
+      auto it = std::lower_bound(nbrs.begin(), nbrs.end(), other);
+      if (it == nbrs.end() || *it != other) nbrs.insert(it, other);
+    }
+  }
+  adjacency_.emplace(v, std::move(nbrs));
+}
+
+const std::vector<NodeId>& OverlayGraph::Neighbors(NodeId v) const {
+  auto it = adjacency_.find(v);
+  if (it == adjacency_.end()) {
+    throw std::logic_error("OverlayGraph::Neighbors: node not registered");
+  }
+  return it->second;
+}
+
+uint32_t OverlayGraph::Degree(NodeId v) const {
+  return static_cast<uint32_t>(Neighbors(v).size());
+}
+
+const std::vector<NodeId>& OverlayGraph::OriginalNeighbors(NodeId v) const {
+  auto it = original_.find(v);
+  if (it == original_.end()) {
+    throw std::logic_error("OverlayGraph::OriginalNeighbors: not registered");
+  }
+  return it->second;
+}
+
+uint32_t OverlayGraph::OriginalDegree(NodeId v) const {
+  return static_cast<uint32_t>(OriginalNeighbors(v).size());
+}
+
+uint32_t OverlayGraph::OriginalCommonNeighborCount(NodeId u, NodeId v) const {
+  const auto& a = OriginalNeighbors(u);
+  const auto& b = OriginalNeighbors(v);
+  uint32_t count = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+bool OverlayGraph::HasEdge(NodeId u, NodeId v) const {
+  const auto& nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+uint32_t OverlayGraph::CommonNeighborCount(NodeId u, NodeId v) const {
+  const auto& a = Neighbors(u);
+  const auto& b = Neighbors(v);
+  uint32_t count = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+void OverlayGraph::RemoveEdge(NodeId u, NodeId v) {
+  uint64_t key = Key(u, v);
+  if (added_.erase(key) == 0) removed_.insert(key);
+  for (NodeId x : {u, v}) {
+    auto it = adjacency_.find(x);
+    if (it == adjacency_.end()) continue;
+    NodeId other = (x == u) ? v : u;
+    auto pos = std::lower_bound(it->second.begin(), it->second.end(), other);
+    if (pos != it->second.end() && *pos == other) it->second.erase(pos);
+  }
+}
+
+void OverlayGraph::AddEdge(NodeId u, NodeId v) {
+  if (u == v) return;
+  // No-op when the edge is already present in a registered endpoint's view;
+  // otherwise a spurious `added_` record would corrupt DegreeDeltas().
+  for (NodeId x : {u, v}) {
+    auto it = adjacency_.find(x);
+    if (it != adjacency_.end()) {
+      NodeId other = (x == u) ? v : u;
+      if (std::binary_search(it->second.begin(), it->second.end(), other)) {
+        return;
+      }
+      break;
+    }
+  }
+  uint64_t key = Key(u, v);
+  if (removed_.erase(key) == 0) added_.insert(key);
+  for (NodeId x : {u, v}) {
+    auto it = adjacency_.find(x);
+    if (it == adjacency_.end()) continue;
+    NodeId other = (x == u) ? v : u;
+    auto pos = std::lower_bound(it->second.begin(), it->second.end(), other);
+    if (pos == it->second.end() || *pos != other) it->second.insert(pos, other);
+  }
+}
+
+void OverlayGraph::MarkProcessed(NodeId u, NodeId v) {
+  processed_.insert(Key(u, v));
+}
+
+bool OverlayGraph::IsProcessed(NodeId u, NodeId v) const {
+  return processed_.count(Key(u, v)) != 0;
+}
+
+bool OverlayGraph::PathExistsAvoiding(NodeId u, NodeId v,
+                                      size_t max_visits) const {
+  if (!IsRegistered(u)) return false;
+  // Fast path: a shared overlay neighbor is a length-2 detour.
+  if (IsRegistered(v) && CommonNeighborCount(u, v) > 0) return true;
+  std::unordered_set<NodeId> seen{u};
+  std::vector<NodeId> frontier{u};
+  std::vector<NodeId> next;
+  while (!frontier.empty() && seen.size() < max_visits) {
+    next.clear();
+    for (NodeId x : frontier) {
+      if (!IsRegistered(x)) continue;  // reachable but not expandable
+      for (NodeId y : Neighbors(x)) {
+        if ((x == u && y == v) || (x == v && y == u)) continue;  // the edge
+        if (y == v) return true;
+        if (seen.insert(y).second) {
+          next.push_back(y);
+          if (seen.size() >= max_visits) return false;
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return false;
+}
+
+std::unordered_map<NodeId, int> OverlayGraph::DegreeDeltas() const {
+  std::unordered_map<NodeId, int> delta;
+  for (uint64_t key : removed_) {
+    --delta[static_cast<NodeId>(key >> 32)];
+    --delta[static_cast<NodeId>(key & 0xFFFFFFFFu)];
+  }
+  for (uint64_t key : added_) {
+    ++delta[static_cast<NodeId>(key >> 32)];
+    ++delta[static_cast<NodeId>(key & 0xFFFFFFFFu)];
+  }
+  return delta;
+}
+
+Graph OverlayGraph::InducedOverlay(std::vector<NodeId>* mapping) const {
+  std::vector<NodeId> nodes;
+  nodes.reserve(adjacency_.size());
+  for (const auto& [v, _] : adjacency_) nodes.push_back(v);
+  std::sort(nodes.begin(), nodes.end());
+  std::unordered_map<NodeId, NodeId> relabel;
+  for (NodeId i = 0; i < nodes.size(); ++i) relabel[nodes[i]] = i;
+  std::vector<Edge> edges;
+  for (NodeId u : nodes) {
+    for (NodeId w : adjacency_.at(u)) {
+      if (u < w && relabel.count(w) != 0) {
+        edges.push_back({relabel[u], relabel[w]});
+      }
+    }
+  }
+  if (mapping != nullptr) *mapping = nodes;
+  return Graph(static_cast<NodeId>(nodes.size()), edges);
+}
+
+}  // namespace mto

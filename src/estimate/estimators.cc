@@ -1,0 +1,49 @@
+#include "src/estimate/estimators.h"
+
+#include <cmath>
+
+namespace mto {
+
+double ImportanceSamplingMean(const std::vector<WeightedSample>& samples) {
+  if (samples.empty()) {
+    throw std::invalid_argument("ImportanceSamplingMean: no samples");
+  }
+  double num = 0.0, den = 0.0;
+  for (const WeightedSample& s : samples) {
+    num += s.value * s.weight;
+    den += s.weight;
+  }
+  if (den <= 0.0) {
+    throw std::invalid_argument("ImportanceSamplingMean: zero total weight");
+  }
+  return num / den;
+}
+
+void RunningImportanceMean::Add(double value, double weight) {
+  if (weight < 0.0) {
+    throw std::invalid_argument("RunningImportanceMean: negative weight");
+  }
+  weighted_sum_ += value * weight;
+  weight_sum_ += weight;
+  ++n_;
+}
+
+double RunningImportanceMean::Estimate() const {
+  if (weight_sum_ <= 0.0) {
+    throw std::logic_error("RunningImportanceMean: no valid samples yet");
+  }
+  return weighted_sum_ / weight_sum_;
+}
+
+double SumFromMean(double mean_estimate, size_t population) {
+  return mean_estimate * static_cast<double>(population);
+}
+
+double RelativeError(double estimate, double truth) {
+  if (truth == 0.0) {
+    throw std::invalid_argument("RelativeError: zero ground truth");
+  }
+  return std::abs(estimate - truth) / std::abs(truth);
+}
+
+}  // namespace mto

@@ -1,0 +1,73 @@
+#include "src/estimate/metrics.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mto {
+namespace {
+
+void CheckSameSize(std::span<const double> p, std::span<const double> q) {
+  if (p.size() != q.size()) {
+    throw std::invalid_argument("metrics: length mismatch");
+  }
+  if (p.empty()) throw std::invalid_argument("metrics: empty distributions");
+}
+
+}  // namespace
+
+double KlDivergence(std::span<const double> p, std::span<const double> q) {
+  CheckSameSize(p, q);
+  double kl = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (p[i] <= 0.0) continue;
+    if (q[i] <= 0.0) {
+      throw std::invalid_argument("KlDivergence: q has a zero where p > 0");
+    }
+    kl += p[i] * std::log(p[i] / q[i]);
+  }
+  // Floating-point cancellation can yield a tiny negative value for p == q.
+  return kl < 0.0 ? 0.0 : kl;
+}
+
+double SymmetrizedKl(std::span<const double> p, std::span<const double> q) {
+  return KlDivergence(p, q) + KlDivergence(q, p);
+}
+
+double KsDistance(std::span<const double> p, std::span<const double> q) {
+  CheckSameSize(p, q);
+  double cp = 0.0, cq = 0.0, best = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    cp += p[i];
+    cq += q[i];
+    best = std::max(best, std::abs(cp - cq));
+  }
+  return best;
+}
+
+double TotalVariation(std::span<const double> p, std::span<const double> q) {
+  CheckSameSize(p, q);
+  double sum = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) sum += std::abs(p[i] - q[i]);
+  return 0.5 * sum;
+}
+
+double L2Distance(std::span<const double> p, std::span<const double> q) {
+  CheckSameSize(p, q);
+  double sum = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    double d = p[i] - q[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double Nrmse(std::span<const double> estimates, double truth) {
+  if (estimates.empty()) throw std::invalid_argument("Nrmse: no estimates");
+  if (truth == 0.0) throw std::invalid_argument("Nrmse: zero truth");
+  double sum = 0.0;
+  for (double e : estimates) sum += (e - truth) * (e - truth);
+  return std::sqrt(sum / static_cast<double>(estimates.size())) /
+         std::abs(truth);
+}
+
+}  // namespace mto

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mto {
+
+/// Distribution-distance metrics used in the paper's bias measurements.
+
+/// Kullback–Leibler divergence D(p ‖ q) = Σ p_i log(p_i / q_i) (natural
+/// log). Entries with p_i = 0 contribute 0; requires q_i > 0 wherever
+/// p_i > 0 (throws std::invalid_argument otherwise) and equal lengths.
+double KlDivergence(std::span<const double> p, std::span<const double> q);
+
+/// The paper's bias measure (Section V-A.3): D(p‖q) + D(q‖p). Callers
+/// smooth the empirical distribution first so both directions are finite.
+double SymmetrizedKl(std::span<const double> p, std::span<const double> q);
+
+/// Kolmogorov–Smirnov distance between two discrete distributions over the
+/// same ordered support: max_k |CDF_p(k) - CDF_q(k)|.
+double KsDistance(std::span<const double> p, std::span<const double> q);
+
+/// Total variation distance (1/2) Σ |p_i - q_i|.
+double TotalVariation(std::span<const double> p, std::span<const double> q);
+
+/// L2 distance between probability vectors.
+double L2Distance(std::span<const double> p, std::span<const double> q);
+
+/// Normalized root-mean-square error of repeated estimates against a truth:
+/// sqrt(mean((est - truth)^2)) / |truth|.
+double Nrmse(std::span<const double> estimates, double truth);
+
+}  // namespace mto

@@ -1,0 +1,43 @@
+#include "src/estimate/sampling_distribution.h"
+
+#include <stdexcept>
+
+#include "src/spectral/transition.h"
+
+namespace mto {
+
+EmpiricalDistribution::EmpiricalDistribution(NodeId num_nodes)
+    : counts_(num_nodes, 0) {}
+
+void EmpiricalDistribution::Record(NodeId v) {
+  if (v >= counts_.size()) {
+    throw std::invalid_argument("EmpiricalDistribution: node out of range");
+  }
+  if (counts_[v] == 0) ++support_;
+  ++counts_[v];
+  ++total_;
+}
+
+std::vector<double> EmpiricalDistribution::Probabilities(double epsilon) const {
+  if (total_ == 0 && epsilon <= 0.0) {
+    throw std::logic_error("EmpiricalDistribution: empty and unsmoothed");
+  }
+  const double denom = static_cast<double>(total_) +
+                       epsilon * static_cast<double>(counts_.size());
+  std::vector<double> p(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    p[i] = (static_cast<double>(counts_[i]) + epsilon) / denom;
+  }
+  return p;
+}
+
+std::vector<double> IdealDegreeDistribution(const Graph& g) {
+  return StationaryDistribution(g);
+}
+
+std::vector<double> UniformDistribution(NodeId n) {
+  if (n == 0) throw std::invalid_argument("UniformDistribution: n == 0");
+  return std::vector<double>(n, 1.0 / static_cast<double>(n));
+}
+
+}  // namespace mto

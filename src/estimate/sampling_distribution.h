@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/util/stats.h"
+
+namespace mto {
+
+/// Accumulates how often each node was retrieved as a sample, and converts
+/// the counts into an empirical probability distribution over all
+/// `num_nodes` nodes with optional additive smoothing. This is the object
+/// the paper compares against the ideal stationary distribution via
+/// KL divergence (Section V-A.3).
+class EmpiricalDistribution {
+ public:
+  explicit EmpiricalDistribution(NodeId num_nodes);
+
+  /// Records one sampled node.
+  void Record(NodeId v);
+
+  /// Total samples recorded.
+  uint64_t total() const { return total_; }
+
+  /// Probability vector with additive (Laplace) smoothing `epsilon` per
+  /// node; epsilon = 0 returns raw frequencies. Throws std::logic_error when
+  /// no samples were recorded and epsilon == 0.
+  std::vector<double> Probabilities(double epsilon = 0.0) const;
+
+  /// Number of distinct nodes sampled at least once.
+  NodeId support() const { return support_; }
+
+ private:
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+  NodeId support_ = 0;
+};
+
+/// The ideal SRW sampling distribution π(v) = deg(v) / 2|E| over `g`.
+std::vector<double> IdealDegreeDistribution(const Graph& g);
+
+/// The uniform distribution over n nodes.
+std::vector<double> UniformDistribution(NodeId n);
+
+}  // namespace mto

@@ -1,0 +1,31 @@
+#include "src/estimate/size_estimator.h"
+
+#include <stdexcept>
+
+namespace mto {
+
+void SizeEstimator::Add(NodeId node, uint32_t degree) {
+  if (degree == 0) {
+    throw std::invalid_argument("SizeEstimator: degree must be > 0");
+  }
+  if (node >= seen_counts_.size()) {
+    seen_counts_.resize(static_cast<size_t>(node) + 1, 0);
+  }
+  // Each earlier occurrence of this node forms one new colliding pair.
+  collisions_ += seen_counts_[node];
+  if (seen_counts_[node] == 0) touched_.push_back(node);
+  ++seen_counts_[node];
+  sum_degree_ += static_cast<double>(degree);
+  sum_inverse_degree_ += 1.0 / static_cast<double>(degree);
+  ++num_samples_;
+}
+
+double SizeEstimator::Estimate() const {
+  if (!Ready()) {
+    throw std::logic_error("SizeEstimator: no collisions observed yet");
+  }
+  return sum_degree_ * sum_inverse_degree_ /
+         (2.0 * static_cast<double>(collisions_));
+}
+
+}  // namespace mto

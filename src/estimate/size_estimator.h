@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace mto {
+
+/// Network-size estimation from random-walk samples (Katzir, Liberty,
+/// Somekh, WWW'11 — cited by the paper as [12]): without any id-space
+/// knowledge, |V| can be estimated from the collision statistics of a
+/// degree-biased sample. For samples x_1..x_n drawn from π(v) ∝ deg(v),
+///
+///   |V|^ = Σ_i deg(x_i) · Σ_i 1/deg(x_i) / (2 · C)
+///
+/// where C counts node collisions (unordered sample pairs hitting the same
+/// node). This lets the COUNT/SUM recovery of estimators.h work even when
+/// the provider does not publish its user count (paper footnote 4 assumes
+/// it does; this removes the assumption).
+class SizeEstimator {
+ public:
+  SizeEstimator() = default;
+
+  /// Records one degree-biased sample: the node id and its degree (> 0).
+  void Add(NodeId node, uint32_t degree);
+
+  /// Number of samples recorded.
+  size_t count() const { return num_samples_; }
+
+  /// Number of colliding unordered pairs so far.
+  uint64_t collisions() const { return collisions_; }
+
+  /// True when at least one collision has been seen (the estimator is
+  /// undefined before that).
+  bool Ready() const { return collisions_ > 0; }
+
+  /// The collision-based estimate of |V|; throws std::logic_error when not
+  /// Ready().
+  double Estimate() const;
+
+ private:
+  std::vector<uint64_t> seen_counts_;  // index = node id, value = multiplicity
+  std::vector<NodeId> touched_;        // nodes with nonzero multiplicity
+  double sum_degree_ = 0.0;
+  double sum_inverse_degree_ = 0.0;
+  size_t num_samples_ = 0;
+  uint64_t collisions_ = 0;
+};
+
+}  // namespace mto

@@ -1,0 +1,56 @@
+#include "src/experiments/error_vs_cost.h"
+
+#include "src/estimate/estimators.h"
+
+namespace mto {
+
+uint64_t LastCostAboveError(const WalkRunResult& run, double truth,
+                            double threshold) {
+  uint64_t last = 0;
+  for (const TracePoint& p : run.trace) {
+    if (RelativeError(p.estimate, truth) > threshold) last = p.query_cost;
+  }
+  return last;
+}
+
+ErrorVsCostCurve MeasureErrorVsCost(const SocialNetwork& network,
+                                    const WalkRunConfig& config, double truth,
+                                    const std::vector<double>& thresholds,
+                                    size_t num_runs, uint64_t base_seed) {
+  std::vector<WalkRunResult> runs;
+  runs.reserve(num_runs);
+  for (size_t r = 0; r < num_runs; ++r) {
+    runs.push_back(
+        RunAggregateEstimation(network, config, base_seed + 0x9E37 * (r + 1)));
+  }
+  ErrorVsCostCurve curve;
+  curve.thresholds = thresholds;
+  curve.mean_query_cost.resize(thresholds.size(), 0.0);
+  for (size_t t = 0; t < thresholds.size(); ++t) {
+    double sum = 0.0;
+    for (const WalkRunResult& run : runs) {
+      sum += static_cast<double>(LastCostAboveError(run, truth, thresholds[t]));
+    }
+    curve.mean_query_cost[t] = sum / static_cast<double>(num_runs);
+  }
+  return curve;
+}
+
+RunSummary SummarizeRuns(const std::vector<WalkRunResult>& runs) {
+  RunSummary s;
+  if (runs.empty()) return s;
+  for (const WalkRunResult& r : runs) {
+    s.mean_final_estimate += r.final_estimate;
+    s.mean_total_cost += static_cast<double>(r.total_query_cost);
+    s.mean_burn_in_cost += static_cast<double>(r.burn_in_query_cost);
+    s.converged_fraction += r.burn_in_converged ? 1.0 : 0.0;
+  }
+  const double n = static_cast<double>(runs.size());
+  s.mean_final_estimate /= n;
+  s.mean_total_cost /= n;
+  s.mean_burn_in_cost /= n;
+  s.converged_fraction /= n;
+  return s;
+}
+
+}  // namespace mto

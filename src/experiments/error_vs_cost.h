@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "src/experiments/harness.h"
+
+namespace mto {
+
+/// The Fig 7 / Fig 11(b,c) curve: for each relative-error threshold x, the
+/// query cost after which a run's estimate stays below x — measured, as in
+/// the paper, as "the maximum query cost for a random walk to generate an
+/// estimation with relative error above a given value", averaged over runs.
+struct ErrorVsCostCurve {
+  std::vector<double> thresholds;
+  std::vector<double> mean_query_cost;  ///< one entry per threshold
+};
+
+/// Extracts the per-run cost for one threshold: the largest trace-point
+/// query cost whose estimate has relative error > threshold (0 when the
+/// run never exceeds it). `truth` is the ground-truth aggregate.
+uint64_t LastCostAboveError(const WalkRunResult& run, double truth,
+                            double threshold);
+
+/// Runs `num_runs` independent repetitions of `config` on `network` and
+/// aggregates the curve over `thresholds`. Seeds are derived from
+/// `base_seed` so the whole sweep is reproducible.
+ErrorVsCostCurve MeasureErrorVsCost(const SocialNetwork& network,
+                                    const WalkRunConfig& config, double truth,
+                                    const std::vector<double>& thresholds,
+                                    size_t num_runs, uint64_t base_seed);
+
+/// Convenience: the mean final estimate and mean total query cost over runs
+/// (used for summary rows).
+struct RunSummary {
+  double mean_final_estimate = 0.0;
+  double mean_total_cost = 0.0;
+  double mean_burn_in_cost = 0.0;
+  double converged_fraction = 0.0;
+};
+RunSummary SummarizeRuns(const std::vector<WalkRunResult>& runs);
+
+}  // namespace mto

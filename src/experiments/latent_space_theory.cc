@@ -1,0 +1,82 @@
+#include "src/experiments/latent_space_theory.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/spectral/mixing.h"
+
+namespace mto {
+
+double RemovableDistanceThreshold(double r, int dimension,
+                                  bool use_eq24_constant) {
+  if (r <= 0.0) throw std::invalid_argument("threshold: r <= 0");
+  if (dimension < 1) throw std::invalid_argument("threshold: dimension < 1");
+  if (use_eq24_constant) {
+    // eq. (24): integration region z1² + z2² <= 0.75 r².
+    return std::sqrt(0.75) * r;
+  }
+  return 2.0 * r *
+         (1.0 - std::pow(1.0 / 3.0, 1.0 / static_cast<double>(dimension)));
+}
+
+double PairDistanceCdf(double d0, double a, double b) {
+  if (a <= 0.0 || b <= 0.0) throw std::invalid_argument("PairDistanceCdf: bad box");
+  if (d0 <= 0.0) return 0.0;
+  // |X1 - X2| for X uniform on [0,a] has density f(z) = 2(a - z)/a² on
+  // [0,a]. P = ∫_0^{min(d0,a)} f_a(z1) * F_b(sqrt(d0² - z1²)) dz1 where
+  // F_b(t) = ∫_0^{min(t,b)} 2(b - z)/b² dz = (2 b t - t²)/b² for t <= b.
+  auto cdf_b = [b](double t) {
+    t = std::clamp(t, 0.0, b);
+    return (2.0 * b * t - t * t) / (b * b);
+  };
+  const double hi = std::min(d0, a);
+  auto integrand = [&](double z1) {
+    double inner = d0 * d0 - z1 * z1;
+    double t = inner > 0.0 ? std::sqrt(inner) : 0.0;
+    return 2.0 * (a - z1) / (a * a) * cdf_b(t);
+  };
+  // Composite Simpson with an even, large panel count.
+  const int panels = 8192;
+  const double h = hi / panels;
+  double sum = integrand(0.0) + integrand(hi);
+  for (int i = 1; i < panels; ++i) {
+    sum += integrand(h * i) * (i % 2 == 1 ? 4.0 : 2.0);
+  }
+  return sum * h / 3.0;
+}
+
+double ExpectedRemovableFraction(const LatentSpaceParams& params,
+                                 bool use_eq24_constant) {
+  const double d0 = RemovableDistanceThreshold(params.r, 2, use_eq24_constant);
+  // eq. (23): the probability is conditional on the pair being an edge
+  // (d < r under the hard threshold); since d0 < r, P(d <= d0 | d < r) =
+  // P(d <= d0) / P(d < r).
+  const double p_edge = PairDistanceCdf(params.r, params.a, params.b);
+  if (p_edge <= 0.0) return 0.0;
+  return PairDistanceCdf(d0, params.a, params.b) / p_edge;
+}
+
+double ConductanceGainFactor(const LatentSpaceParams& params,
+                             bool use_eq24_constant) {
+  // eq. (24)/(29): factor = 1 / (1 - P(d <= d0)) with the *unconditional*
+  // pair-distance probability (the paper removes that mass from a(S)).
+  const double d0 = RemovableDistanceThreshold(params.r, 2, use_eq24_constant);
+  const double p = PairDistanceCdf(d0, params.a, params.b);
+  if (p >= 1.0) throw std::logic_error("ConductanceGainFactor: p >= 1");
+  return 1.0 / (1.0 - p);
+}
+
+double TheoreticalOverlayMixingTime(double original_slem,
+                                    const LatentSpaceParams& params) {
+  if (original_slem >= 1.0) {
+    return MixingTimeFromSlem(original_slem);  // +inf: disconnected input
+  }
+  // µ = 1 - Φ²/2  =>  Φ_eff = sqrt(2 (1 - µ)).
+  double phi_eff = std::sqrt(2.0 * (1.0 - original_slem));
+  phi_eff = std::min(1.0, phi_eff * ConductanceGainFactor(params));
+  const double new_slem = 1.0 - phi_eff * phi_eff / 2.0;
+  return MixingTimeFromSlem(std::max(0.0, new_slem));
+}
+
+}  // namespace mto

@@ -1,0 +1,44 @@
+#pragma once
+
+#include "src/graph/generators.h"
+
+namespace mto {
+
+/// Closed-form pieces of the paper's latent-space analysis (Section IV-B,
+/// Theorem 6) for D = 2 with nodes uniform in [0, a] x [0, b] and the hard
+/// threshold link function (alpha = +infinity).
+
+/// The removability distance threshold d0: two nodes closer than d0 are
+/// guaranteed (conservatively, via |N∩| >= |N∪| - 2 and eq. 25) to have a
+/// removable edge. The theorem statement evaluates to d0 = 2r(1-(1/3)^(1/D));
+/// the paper's eq. (24) integral instead uses d0 = sqrt(0.75)·r ≈ 0.866r —
+/// the two differ by ~2% in 2D. `use_eq24_constant` selects the variant.
+double RemovableDistanceThreshold(double r, int dimension,
+                                  bool use_eq24_constant = true);
+
+/// P(dist(i, j) <= d0) for two independent uniform points in [0,a] x [0,b],
+/// computed by exact 1D reduction + Simpson integration (error << 1e-8 for
+/// the paper's parameter ranges). This is eq. (27)'s double integral.
+double PairDistanceCdf(double d0, double a, double b);
+
+/// Theorem 6 bound on the expected fraction of removable edges:
+/// E[R] / |E| >= P(d <= d0) (eq. 23 with the distance threshold above).
+double ExpectedRemovableFraction(const LatentSpaceParams& params,
+                                 bool use_eq24_constant = true);
+
+/// Theorem 6 conductance-gain factor (eq. 24/29):
+/// E[Φ(G*)] >= factor * Φ(G) with factor = 1 / (1 - P(d <= d0)).
+/// For the paper's r=0.7, a=4, b=5 this evaluates to ≈ 1.05 (eq. 13).
+double ConductanceGainFactor(const LatentSpaceParams& params,
+                             bool use_eq24_constant = true);
+
+/// The Fig 10 "Theoretical Bound" series: a conservative mixing-time
+/// prediction for the overlay from the *original* graph's SLEM. The SLEM µ
+/// is mapped to an effective conductance via the Cheeger-style kernel
+/// µ = 1 - Φ²/2, Φ is scaled by ConductanceGainFactor, and the result is
+/// mapped back to a mixing time 1/log(1/µ'). Conservative by construction —
+/// measured MTO overlays mix faster (paper Fig 10).
+double TheoreticalOverlayMixingTime(double original_slem,
+                                    const LatentSpaceParams& params);
+
+}  // namespace mto

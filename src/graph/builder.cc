@@ -1,0 +1,99 @@
+#include "src/graph/builder.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace mto {
+
+void GraphBuilder::ReserveNodes(NodeId n) {
+  num_nodes_ = std::max(num_nodes_, n);
+}
+
+void GraphBuilder::AddEdge(NodeId u, NodeId v) {
+  AddArc(u, v);
+  AddArc(v, u);
+}
+
+void GraphBuilder::AddArc(NodeId from, NodeId to) {
+  arcs_.push_back({from, to});
+  num_nodes_ = std::max(num_nodes_, static_cast<NodeId>(std::max(from, to) + 1));
+}
+
+Graph GraphBuilder::Build() const {
+  std::vector<Edge> edges;
+  edges.reserve(arcs_.size());
+  for (const Edge& a : arcs_) {
+    if (a.u == a.v) continue;
+    edges.push_back(a.Normalized());
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return Graph(num_nodes_, edges);
+}
+
+Graph GraphBuilder::BuildMutual() const {
+  std::vector<Edge> arcs;
+  arcs.reserve(arcs_.size());
+  for (const Edge& a : arcs_) {
+    if (a.u != a.v) arcs.push_back(a);  // keep direction
+  }
+  std::sort(arcs.begin(), arcs.end());
+  arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
+  // An undirected edge survives iff both (u,v) and (v,u) are present.
+  std::vector<Edge> edges;
+  for (const Edge& a : arcs) {
+    if (a.u < a.v &&
+        std::binary_search(arcs.begin(), arcs.end(), Edge{a.v, a.u})) {
+      edges.push_back(a);
+    }
+  }
+  return Graph(num_nodes_, edges);
+}
+
+Graph LargestComponent(const Graph& g, std::vector<NodeId>* mapping) {
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> comp(n, kInvalidNode);
+  NodeId num_comps = 0;
+  std::vector<size_t> comp_size;
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < n; ++s) {
+    if (comp[s] != kInvalidNode) continue;
+    comp[s] = num_comps;
+    size_t size = 0;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      NodeId v = stack.back();
+      stack.pop_back();
+      ++size;
+      for (NodeId w : g.Neighbors(v)) {
+        if (comp[w] == kInvalidNode) {
+          comp[w] = num_comps;
+          stack.push_back(w);
+        }
+      }
+    }
+    comp_size.push_back(size);
+    ++num_comps;
+  }
+  NodeId best = 0;
+  for (NodeId c = 1; c < num_comps; ++c) {
+    if (comp_size[c] > comp_size[best]) best = c;
+  }
+  std::vector<NodeId> map(n, kInvalidNode);
+  NodeId next = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (comp[v] == best) map[v] = next++;
+  }
+  GraphBuilder builder;
+  builder.ReserveNodes(next);
+  for (NodeId u = 0; u < n; ++u) {
+    if (map[u] == kInvalidNode) continue;
+    for (NodeId v : g.Neighbors(u)) {
+      if (u < v && map[v] != kInvalidNode) builder.AddEdge(map[u], map[v]);
+    }
+  }
+  if (mapping != nullptr) *mapping = std::move(map);
+  return builder.Build();
+}
+
+}  // namespace mto

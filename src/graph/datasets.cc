@@ -1,0 +1,93 @@
+#include "src/graph/datasets.h"
+
+#include <stdexcept>
+
+#include "src/graph/generators.h"
+
+namespace mto {
+namespace {
+
+struct Recipe {
+  DatasetInfo info;
+  CommunityPowerlawParams params;
+  uint64_t seed;
+};
+
+const std::vector<Recipe>& Recipes() {
+  static const std::vector<Recipe> kRecipes = {
+      // Paper Table I: Epinions 26,588 nodes / 100,120 edges / 4.8.
+      {{"epinions", "Epinions", 26588, 100120, 4.8},
+       {.n = 26588, .communities = 24, .m = 4, .triad_p = 0.6,
+        .periphery = 0.55, .clique_min = 5, .clique_max = 9,
+        .extra_link_p = 0.25, .cross_fraction = 0.02},
+       0xE91A0001},
+      // Paper Table I: Slashdot A 70,068 / 428,714 / 4.5.
+      {{"slashdot_a", "Slashdot A", 70068, 428714, 4.5},
+       {.n = 70068, .communities = 30, .m = 6, .triad_p = 0.55,
+        .periphery = 0.5, .clique_min = 7, .clique_max = 11,
+        .extra_link_p = 0.4, .cross_fraction = 0.02},
+       0x51A50002},
+      // Paper Table I: Slashdot B 70,999 / 436,453 / 4.5.
+      {{"slashdot_b", "Slashdot B", 70999, 436453, 4.5},
+       {.n = 70999, .communities = 30, .m = 6, .triad_p = 0.55,
+        .periphery = 0.5, .clique_min = 7, .clique_max = 11,
+        .extra_link_p = 0.4, .cross_fraction = 0.02},
+       0x51A50003},
+      // Google Plus stand-in: the paper accessed 240,276 users; exact graph
+      // stats were never published, so only scale is matched.
+      {{"gplus", "Google Plus", 240276, 0, 0.0},
+       {.n = 240276, .communities = 60, .m = 5, .triad_p = 0.5,
+        .periphery = 0.5, .clique_min = 5, .clique_max = 9,
+        .extra_link_p = 0.3, .cross_fraction = 0.015},
+       0x6B105004},
+      // Small variants for tests and node-level distribution measurements.
+      {{"epinions_small", "Epinions (1/8 scale)", 0, 0, 0.0},
+       {.n = 3300, .communities = 10, .m = 4, .triad_p = 0.6,
+        .periphery = 0.55, .clique_min = 5, .clique_max = 9,
+        .extra_link_p = 0.25, .cross_fraction = 0.02},
+       0xE91A1001},
+      {{"slashdot_a_small", "Slashdot A (1/16 scale)", 0, 0, 0.0},
+       {.n = 4400, .communities = 12, .m = 6, .triad_p = 0.55,
+        .periphery = 0.5, .clique_min = 7, .clique_max = 11,
+        .extra_link_p = 0.4, .cross_fraction = 0.02},
+       0x51A51002},
+      {{"slashdot_b_small", "Slashdot B (1/16 scale)", 0, 0, 0.0},
+       {.n = 4450, .communities = 12, .m = 6, .triad_p = 0.55,
+        .periphery = 0.5, .clique_min = 7, .clique_max = 11,
+        .extra_link_p = 0.4, .cross_fraction = 0.02},
+       0x51A51003},
+      {{"gplus_small", "Google Plus (1/48 scale)", 0, 0, 0.0},
+       {.n = 5000, .communities = 14, .m = 5, .triad_p = 0.5,
+        .periphery = 0.5, .clique_min = 5, .clique_max = 9,
+        .extra_link_p = 0.3, .cross_fraction = 0.015},
+       0x6B101004},
+  };
+  return kRecipes;
+}
+
+const Recipe& FindRecipe(const std::string& name) {
+  for (const Recipe& r : Recipes()) {
+    if (r.info.name == name) return r;
+  }
+  throw std::invalid_argument("unknown dataset: " + name);
+}
+
+}  // namespace
+
+std::vector<DatasetInfo> ListDatasets() {
+  std::vector<DatasetInfo> out;
+  for (const Recipe& r : Recipes()) out.push_back(r.info);
+  return out;
+}
+
+Graph MakeDataset(const std::string& name) {
+  const Recipe& r = FindRecipe(name);
+  Rng rng(r.seed);
+  return CommunityPowerlaw(r.params, rng);
+}
+
+DatasetInfo GetDatasetInfo(const std::string& name) {
+  return FindRecipe(name).info;
+}
+
+}  // namespace mto

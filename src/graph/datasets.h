@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace mto {
+
+/// Registry of the synthetic stand-ins for the paper's datasets (Table I and
+/// the Google Plus crawl). The real snapshots (SNAP Epinions/Slashdot, the
+/// retired Google Social Graph API) are not available offline, so each
+/// dataset is generated deterministically from a fixed seed with parameters
+/// chosen to approximate the paper's node/edge counts, heavy-tailed degrees,
+/// high clustering, and community structure — the properties MTO-Sampler's
+/// mechanisms depend on (see DESIGN.md §3).
+///
+/// `*_small` variants keep the same shape at ~5k nodes for unit tests and
+/// the sampling-distribution (KL) experiments where every node must be
+/// visited many times.
+struct DatasetInfo {
+  std::string name;        ///< registry key, e.g. "epinions"
+  std::string paper_name;  ///< name used in the paper, e.g. "Epinions"
+  NodeId paper_nodes;      ///< node count reported in Table I (0 if n/a)
+  size_t paper_edges;      ///< edge count reported in Table I (0 if n/a)
+  double paper_diameter90; ///< 90% effective diameter from Table I (0 if n/a)
+};
+
+/// Names of all registered datasets, paper-sized first.
+std::vector<DatasetInfo> ListDatasets();
+
+/// Generates the named dataset. Throws std::invalid_argument for unknown
+/// names. Deterministic: repeated calls return identical graphs.
+Graph MakeDataset(const std::string& name);
+
+/// Info for one dataset; throws std::invalid_argument for unknown names.
+DatasetInfo GetDatasetInfo(const std::string& name);
+
+}  // namespace mto

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/util/rng.h"
+
+namespace mto {
+
+/// Synthetic graph generators.
+///
+/// All generators are deterministic given the Rng passed in; all produced
+/// graphs are simple (no self-loops / duplicate edges) and undirected.
+
+/// Barbell graph: two cliques of `clique_size` nodes joined by a single
+/// bridge edge between node (clique_size-1) and node clique_size.
+/// The paper's running example is Barbell(11): 22 nodes, 111 edges.
+Graph Barbell(NodeId clique_size);
+
+/// Complete graph K_n.
+Graph Complete(NodeId n);
+
+/// Star with one hub (node 0) and n-1 spokes.
+Graph Star(NodeId n);
+
+/// Path 0-1-...-n-1.
+Graph Path(NodeId n);
+
+/// Cycle 0-1-...-n-1-0. Requires n >= 3.
+Graph Cycle(NodeId n);
+
+/// rows x cols 4-neighbor grid.
+Graph Grid(NodeId rows, NodeId cols);
+
+/// Erdős–Rényi G(n, p).
+Graph ErdosRenyi(NodeId n, double p, Rng& rng);
+
+/// Erdős–Rényi G(n, m): exactly m distinct edges. Requires m <= n(n-1)/2.
+Graph ErdosRenyiM(NodeId n, size_t m, Rng& rng);
+
+/// Barabási–Albert preferential attachment: starts from a clique of
+/// `m` + 1 nodes, each subsequent node attaches to `m` distinct existing
+/// nodes chosen proportionally to degree. Requires 1 <= m < n.
+Graph BarabasiAlbert(NodeId n, uint32_t m, Rng& rng);
+
+/// Holme–Kim powerlaw-cluster model: Barabási–Albert with triad formation.
+/// After each preferential attachment, with probability `triad_p` the next
+/// link goes to a random neighbor of the previous target (closing a
+/// triangle). Produces heavy-tailed degrees AND high clustering — the regime
+/// where the paper's Theorem 3 fires often. Requires 1 <= m < n.
+Graph HolmeKim(NodeId n, uint32_t m, double triad_p, Rng& rng);
+
+/// Watts–Strogatz small world: ring lattice with `k` nearest neighbors per
+/// side rewired with probability `beta`. Requires n > 2k.
+Graph WattsStrogatz(NodeId n, uint32_t k, double beta, Rng& rng);
+
+/// Stochastic block model with equal-probability blocks: `block_sizes[i]`
+/// nodes in block i, edge probability `p_in` within a block and `p_out`
+/// across blocks.
+Graph StochasticBlockModel(const std::vector<NodeId>& block_sizes, double p_in,
+                           double p_out, Rng& rng);
+
+/// Parameters of the latent-space model of Section IV-B (eq. 11):
+/// nodes uniform in the rectangle [0, a] x [0, b] (D = 2); nodes i, j are
+/// connected with probability 1 / (1 + exp(alpha * (d_ij - r))).
+/// alpha = +infinity (pass std::numeric_limits<double>::infinity()) yields
+/// the hard threshold d_ij < r the paper analyzes in Theorem 6.
+struct LatentSpaceParams {
+  NodeId n = 100;
+  double a = 4.0;      ///< rectangle width
+  double b = 5.0;      ///< rectangle height
+  double r = 0.7;      ///< sociability radius
+  double alpha = 4.0;  ///< link-function sharpness
+};
+
+/// Result of the latent-space generator: the graph plus node coordinates
+/// (needed by the Theorem 6 analysis in src/experiments).
+struct LatentSpaceGraph {
+  Graph graph;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Samples a latent-space graph.
+LatentSpaceGraph LatentSpace(const LatentSpaceParams& params, Rng& rng);
+
+/// Community-structured social-network generator used as the stand-in for
+/// the paper's SNAP datasets. Each community consists of
+///  * a Holme–Kim "core" (hubs, heavy-tailed degrees, triangles), and
+///  * a periphery of tight micro-cliques ("friend groups") of odd size in
+///    [clique_min, clique_max], each attached to the core by one mandatory
+///    link plus Bernoulli(extra_link_p) extra links per member.
+/// Communities are joined by sparse random core-core edges.
+///
+/// The micro-cliques are the load-bearing feature for this paper: members
+/// share almost all neighbors while keeping low external degree, which is
+/// precisely when Theorem 3's removal criterion fires — and they hang off
+/// the core by few links, which is what makes real OSNs slow-mixing
+/// (Mohaisen et al., the paper's motivation). Returns the largest connected
+/// component.
+struct CommunityPowerlawParams {
+  NodeId n = 10000;           ///< total nodes before component extraction
+  uint32_t communities = 20;  ///< number of community blocks
+  uint32_t m = 4;             ///< mean Holme–Kim attachment degree in cores
+  double triad_p = 0.7;       ///< triangle-closing probability in the core
+  double periphery = 0.55;    ///< fraction of community nodes in micro-cliques
+  uint32_t clique_min = 5;    ///< smallest micro-clique (forced odd)
+  uint32_t clique_max = 9;    ///< largest micro-clique (forced odd)
+  double extra_link_p = 0.25; ///< extra core links per clique member
+  double cross_fraction = 0.01;  ///< community-to-community edge fraction
+  /// Heterogeneity of hub density across communities: community cores use
+  /// attachment degree m_i uniform in [m(1-spread), m(1+spread)] (min 2).
+  /// Heterogeneous regions are what make mixing speed matter for aggregate
+  /// accuracy — with identical communities every neighborhood is locally
+  /// representative and even a trapped walk estimates well.
+  double m_spread = 0.6;
+};
+Graph CommunityPowerlaw(const CommunityPowerlawParams& params, Rng& rng);
+
+}  // namespace mto

@@ -1,0 +1,151 @@
+#include "src/graph/graph_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace mto {
+
+std::vector<uint32_t> BfsDistances(const Graph& g, NodeId source) {
+  std::vector<uint32_t> dist(g.num_nodes(), kUnreachable);
+  std::queue<NodeId> q;
+  dist[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    NodeId v = q.front();
+    q.pop();
+    for (NodeId w : g.Neighbors(v)) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = dist[v] + 1;
+        q.push(w);
+      }
+    }
+  }
+  return dist;
+}
+
+uint32_t NumComponents(const Graph& g) {
+  std::vector<bool> seen(g.num_nodes(), false);
+  uint32_t comps = 0;
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    if (seen[s]) continue;
+    ++comps;
+    seen[s] = true;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      NodeId v = stack.back();
+      stack.pop_back();
+      for (NodeId w : g.Neighbors(v)) {
+        if (!seen[w]) {
+          seen[w] = true;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return comps;
+}
+
+bool IsConnected(const Graph& g) {
+  return g.num_nodes() == 0 || NumComponents(g) == 1;
+}
+
+double LocalClustering(const Graph& g, NodeId v) {
+  uint32_t d = g.Degree(v);
+  if (d < 2) return 0.0;
+  auto nbrs = g.Neighbors(v);
+  size_t links = 0;
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    for (size_t j = i + 1; j < nbrs.size(); ++j) {
+      if (g.HasEdge(nbrs[i], nbrs[j])) ++links;
+    }
+  }
+  return 2.0 * static_cast<double>(links) /
+         (static_cast<double>(d) * static_cast<double>(d - 1));
+}
+
+double AverageClustering(const Graph& g) {
+  if (g.num_nodes() == 0) return 0.0;
+  double sum = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) sum += LocalClustering(g, v);
+  return sum / static_cast<double>(g.num_nodes());
+}
+
+double Transitivity(const Graph& g) {
+  // triangles counted 3x by iterating ordered wedges u < w neighbors of v.
+  size_t closed = 0;
+  size_t triples = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto nbrs = g.Neighbors(v);
+    size_t d = nbrs.size();
+    if (d >= 2) triples += d * (d - 1) / 2;
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      for (size_t j = i + 1; j < nbrs.size(); ++j) {
+        if (g.HasEdge(nbrs[i], nbrs[j])) ++closed;
+      }
+    }
+  }
+  return triples == 0 ? 0.0
+                      : static_cast<double>(closed) / static_cast<double>(triples);
+}
+
+std::vector<size_t> DegreeHistogram(const Graph& g) {
+  std::vector<size_t> hist(g.MaxDegree() + 1, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) ++hist[g.Degree(v)];
+  return hist;
+}
+
+double AverageDegree(const Graph& g) {
+  if (g.num_nodes() == 0) return 0.0;
+  return static_cast<double>(g.DegreeSum()) / static_cast<double>(g.num_nodes());
+}
+
+double EffectiveDiameter90(const Graph& g, Rng& rng, uint32_t sources) {
+  if (g.num_nodes() == 0) return 0.0;
+  std::vector<NodeId> starts;
+  if (sources >= g.num_nodes()) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) starts.push_back(v);
+  } else {
+    for (size_t i : rng.SampleWithoutReplacement(g.num_nodes(), sources)) {
+      starts.push_back(static_cast<NodeId>(i));
+    }
+  }
+  // Cumulative count of reachable pairs by distance.
+  std::vector<uint64_t> by_dist;
+  uint64_t reachable = 0;
+  for (NodeId s : starts) {
+    for (uint32_t d : BfsDistances(g, s)) {
+      if (d == kUnreachable || d == 0) continue;
+      if (d >= by_dist.size()) by_dist.resize(d + 1, 0);
+      ++by_dist[d];
+      ++reachable;
+    }
+  }
+  if (reachable == 0) return 0.0;
+  const double target = 0.9 * static_cast<double>(reachable);
+  uint64_t cum = 0;
+  for (uint32_t d = 1; d < by_dist.size(); ++d) {
+    uint64_t next = cum + by_dist[d];
+    if (static_cast<double>(next) >= target) {
+      // Linear interpolation within distance bucket d (SNAP convention).
+      double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(by_dist[d]);
+      return static_cast<double>(d - 1) + frac;
+    }
+    cum = next;
+  }
+  return static_cast<double>(by_dist.size() - 1);
+}
+
+uint32_t ExactDiameter(const Graph& g) {
+  uint32_t best = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (uint32_t d : BfsDistances(g, v)) {
+      if (d != kUnreachable) best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+}  // namespace mto

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/util/rng.h"
+
+namespace mto {
+
+/// BFS distances from `source`; unreachable nodes get kUnreachable.
+inline constexpr uint32_t kUnreachable = static_cast<uint32_t>(-1);
+std::vector<uint32_t> BfsDistances(const Graph& g, NodeId source);
+
+/// Number of connected components.
+uint32_t NumComponents(const Graph& g);
+
+/// True iff the graph is connected (the empty graph counts as connected).
+bool IsConnected(const Graph& g);
+
+/// Local clustering coefficient of node v: triangles through v divided by
+/// C(deg, 2); 0 when deg < 2.
+double LocalClustering(const Graph& g, NodeId v);
+
+/// Average of local clustering coefficients over all nodes.
+double AverageClustering(const Graph& g);
+
+/// Global transitivity: 3 * triangles / connected-triples.
+double Transitivity(const Graph& g);
+
+/// Degree histogram: result[d] = number of nodes with degree d.
+std::vector<size_t> DegreeHistogram(const Graph& g);
+
+/// Average degree 2|E| / |V|; 0 for the empty graph.
+double AverageDegree(const Graph& g);
+
+/// The paper's Table I statistic: the 90% effective diameter — the
+/// interpolated distance at which 90% of reachable node pairs are within
+/// range. Estimated from BFS out of `sources` random start nodes (exact when
+/// sources >= num_nodes). Deterministic given `rng`.
+double EffectiveDiameter90(const Graph& g, Rng& rng, uint32_t sources = 64);
+
+/// Exact diameter of (the largest component of) small graphs via all-pairs
+/// BFS. Intended for n up to a few thousand.
+uint32_t ExactDiameter(const Graph& g);
+
+}  // namespace mto

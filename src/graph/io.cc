@@ -1,0 +1,71 @@
+#include "src/graph/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "src/graph/builder.h"
+
+namespace mto {
+namespace {
+
+/// Parses `u v` lines into the builder via `add`, optionally compacting ids.
+template <typename AddFn>
+void ParseLines(std::istream& in, bool compact_ids, AddFn add) {
+  std::unordered_map<uint64_t, NodeId> remap;
+  auto resolve = [&](uint64_t raw) -> NodeId {
+    if (!compact_ids) return static_cast<NodeId>(raw);
+    auto [it, inserted] = remap.try_emplace(raw, static_cast<NodeId>(remap.size()));
+    return it->second;
+  };
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    uint64_t a = 0, b = 0;
+    if (!(ls >> a >> b)) {
+      throw std::runtime_error("edge list: malformed line: " + line);
+    }
+    // Sequence the two resolutions explicitly: argument evaluation order is
+    // unspecified, and compaction must assign ids in appearance order.
+    NodeId from = resolve(a);
+    NodeId to = resolve(b);
+    add(from, to);
+  }
+}
+
+}  // namespace
+
+Graph ReadEdgeList(std::istream& in, bool compact_ids) {
+  GraphBuilder builder;
+  ParseLines(in, compact_ids,
+             [&](NodeId u, NodeId v) { builder.AddEdge(u, v); });
+  return builder.Build();
+}
+
+Graph ReadDirectedAsMutual(std::istream& in, bool compact_ids) {
+  GraphBuilder builder;
+  ParseLines(in, compact_ids,
+             [&](NodeId u, NodeId v) { builder.AddArc(u, v); });
+  return builder.BuildMutual();
+}
+
+Graph ReadEdgeListFile(const std::string& path, bool compact_ids) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open edge list: " + path);
+  return ReadEdgeList(in, compact_ids);
+}
+
+void WriteEdgeList(const Graph& g, std::ostream& out) {
+  out << "# nodes " << g.num_nodes() << " edges " << g.num_edges() << "\n";
+  for (const Edge& e : g.Edges()) out << e.u << " " << e.v << "\n";
+}
+
+void WriteEdgeListFile(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  WriteEdgeList(g, out);
+}
+
+}  // namespace mto

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/graph/graph.h"
+
+namespace mto {
+
+/// Edge-list text IO in the SNAP dataset format the paper's datasets use:
+/// one `u v` pair per line, `#` comment lines ignored. Node ids are
+/// compacted to 0..n-1 in first-appearance order when `compact_ids` is true.
+
+/// Reads an undirected graph from an edge-list stream.
+Graph ReadEdgeList(std::istream& in, bool compact_ids = true);
+
+/// Reads a *directed* edge list and keeps only mutual edges, the paper's
+/// conversion for Epinions/Slashdot (Section V-A.2).
+Graph ReadDirectedAsMutual(std::istream& in, bool compact_ids = true);
+
+/// Reads from a file path; throws std::runtime_error if unreadable.
+Graph ReadEdgeListFile(const std::string& path, bool compact_ids = true);
+
+/// Writes `g` as an edge list (one normalized edge per line).
+void WriteEdgeList(const Graph& g, std::ostream& out);
+
+/// Writes to a file path; throws std::runtime_error on failure.
+void WriteEdgeListFile(const Graph& g, const std::string& path);
+
+}  // namespace mto

@@ -1,0 +1,101 @@
+#include "src/mcmc/diagnostics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "src/util/stats.h"
+
+namespace mto {
+
+double GelmanRubin(const std::vector<std::vector<double>>& chains) {
+  if (chains.size() < 2) {
+    throw std::invalid_argument("GelmanRubin: need >= 2 chains");
+  }
+  size_t n = std::numeric_limits<size_t>::max();
+  for (const auto& chain : chains) n = std::min(n, chain.size());
+  if (n < 4) throw std::invalid_argument("GelmanRubin: chains too short");
+  const double m = static_cast<double>(chains.size());
+  const double dn = static_cast<double>(n);
+
+  std::vector<double> means;
+  double within = 0.0;
+  for (const auto& chain : chains) {
+    RunningStats stats;
+    for (size_t i = 0; i < n; ++i) stats.Add(chain[i]);
+    means.push_back(stats.Mean());
+    within += stats.SampleVariance();
+  }
+  within /= m;
+  double grand = Mean(means);
+  double between = 0.0;
+  for (double mu : means) between += (mu - grand) * (mu - grand);
+  between *= dn / (m - 1.0);
+  if (within <= 0.0) return between <= 0.0 ? 1.0 :
+      std::numeric_limits<double>::infinity();
+  const double var_plus = (dn - 1.0) / dn * within + between / dn;
+  return std::sqrt(var_plus / within);
+}
+
+double Autocorrelation(std::span<const double> trace, size_t lag) {
+  const size_t n = trace.size();
+  if (lag >= n) return 0.0;
+  RunningStats stats;
+  for (double x : trace) stats.Add(x);
+  const double mean = stats.Mean();
+  const double var = stats.Variance();
+  if (var <= 0.0) return 0.0;
+  double acc = 0.0;
+  for (size_t i = 0; i + lag < n; ++i) {
+    acc += (trace[i] - mean) * (trace[i + lag] - mean);
+  }
+  return acc / (static_cast<double>(n) * var);
+}
+
+double EffectiveSampleSize(std::span<const double> trace) {
+  const size_t n = trace.size();
+  if (n < 2) return static_cast<double>(n);
+  // Geyer's initial positive sequence: sum Γ_t = ρ(2t) + ρ(2t+1) while
+  // positive.
+  double sum = 0.0;
+  for (size_t t = 1; 2 * t + 1 < n; ++t) {
+    double gamma = Autocorrelation(trace, 2 * t) +
+                   Autocorrelation(trace, 2 * t + 1);
+    if (gamma <= 0.0) break;
+    sum += gamma;
+  }
+  double denom = 1.0 + 2.0 * Autocorrelation(trace, 1) + 2.0 * sum;
+  double ess = static_cast<double>(n) / std::max(denom, 1e-12);
+  return std::clamp(ess, 1.0, static_cast<double>(n));
+}
+
+MultiChainMonitor::MultiChainMonitor(size_t num_chains, double threshold,
+                                     size_t min_length, size_t check_every)
+    : threshold_(threshold),
+      min_length_(std::max<size_t>(min_length, 4)),
+      check_every_(check_every == 0 ? 1 : check_every),
+      chains_(num_chains),
+      next_check_(min_length_),
+      last_rhat_(std::numeric_limits<double>::infinity()) {
+  if (num_chains < 2) {
+    throw std::invalid_argument("MultiChainMonitor: need >= 2 chains");
+  }
+}
+
+void MultiChainMonitor::Add(size_t chain, double value) {
+  chains_.at(chain).push_back(value);
+}
+
+bool MultiChainMonitor::Converged() {
+  if (converged_) return true;
+  size_t shortest = std::numeric_limits<size_t>::max();
+  for (const auto& chain : chains_) shortest = std::min(shortest, chain.size());
+  if (shortest < next_check_) return false;
+  last_rhat_ = GelmanRubin(chains_);
+  next_check_ = shortest + check_every_;
+  if (last_rhat_ <= threshold_) converged_ = true;
+  return converged_;
+}
+
+}  // namespace mto

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mto {
+
+/// Additional MCMC convergence/quality diagnostics complementing the Geweke
+/// indicator (src/mcmc/geweke.h). These power the parallel-walk extension
+/// the paper sketches in Section VI ("many random walks are faster than
+/// one" — Alon et al.; "MTO-sampler can be applied to each parallel random
+/// walk straightforwardly").
+
+/// Gelman–Rubin potential scale reduction factor over multiple chains'
+/// traces. Values near 1 indicate the chains have converged to a common
+/// distribution; the conventional cutoff is 1.1. Requires >= 2 chains with
+/// >= 4 observations each (throws std::invalid_argument otherwise); chains
+/// are truncated to the shortest length.
+double GelmanRubin(const std::vector<std::vector<double>>& chains);
+
+/// Lag-k autocorrelation of a trace (biased estimator, denominator n).
+/// Returns 0 for k >= length or zero-variance traces.
+double Autocorrelation(std::span<const double> trace, size_t lag);
+
+/// Effective sample size via the initial-positive-sequence estimator:
+/// n / (1 + 2 Σ ρ_k), summing consecutive-pair autocorrelations while they
+/// remain positive. Clamped to [1, n]. This quantifies exactly the effect
+/// MTO targets: a slow-mixing walk produces fewer effective samples per
+/// step.
+double EffectiveSampleSize(std::span<const double> trace);
+
+/// Incremental multi-chain monitor: feed one observation per chain per
+/// round; Converged() applies the Gelman–Rubin cutoff.
+class MultiChainMonitor {
+ public:
+  /// `num_chains` >= 2; `threshold` is the R-hat cutoff (default 1.1).
+  explicit MultiChainMonitor(size_t num_chains, double threshold = 1.1,
+                             size_t min_length = 100, size_t check_every = 50);
+
+  /// Appends chain `chain`'s next observation.
+  void Add(size_t chain, double value);
+
+  /// True once R-hat <= threshold (sticky).
+  bool Converged();
+
+  /// Last computed R-hat (+inf before the first evaluation).
+  double last_rhat() const { return last_rhat_; }
+
+  /// The per-chain traces.
+  const std::vector<std::vector<double>>& chains() const { return chains_; }
+
+ private:
+  double threshold_;
+  size_t min_length_;
+  size_t check_every_;
+  std::vector<std::vector<double>> chains_;
+  size_t next_check_;
+  bool converged_ = false;
+  double last_rhat_;
+};
+
+}  // namespace mto

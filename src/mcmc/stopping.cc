@@ -1,0 +1,58 @@
+#include "src/mcmc/stopping.h"
+
+#include <stdexcept>
+
+namespace mto {
+
+FixedLengthRule::FixedLengthRule(size_t length) : length_(length) {
+  if (length == 0) throw std::invalid_argument("FixedLengthRule: length 0");
+}
+
+void FixedLengthRule::Observe(double) { ++seen_; }
+
+bool FixedLengthRule::ShouldStop() { return seen_ >= length_; }
+
+void FixedLengthRule::Reset() { seen_ = 0; }
+
+GewekeRule::GewekeRule(double threshold, size_t min_length, size_t check_every,
+                       GewekeOptions options)
+    : monitor_(threshold, min_length, check_every, options) {}
+
+void GewekeRule::Observe(double theta) { monitor_.Add(theta); }
+
+bool GewekeRule::ShouldStop() { return monitor_.Converged(); }
+
+void GewekeRule::Reset() { monitor_.Reset(); }
+
+CappedGewekeRule::CappedGewekeRule(double threshold, size_t max_steps,
+                                   size_t min_length, size_t check_every,
+                                   GewekeOptions options)
+    : monitor_(threshold, min_length, check_every, options),
+      max_steps_(max_steps) {
+  if (max_steps == 0) throw std::invalid_argument("CappedGewekeRule: cap 0");
+}
+
+void CappedGewekeRule::Observe(double theta) {
+  monitor_.Add(theta);
+  ++seen_;
+}
+
+bool CappedGewekeRule::ShouldStop() {
+  if (monitor_.Converged()) {
+    stopped_by_cap_ = false;
+    return true;
+  }
+  if (seen_ >= max_steps_) {
+    stopped_by_cap_ = true;
+    return true;
+  }
+  return false;
+}
+
+void CappedGewekeRule::Reset() {
+  monitor_.Reset();
+  seen_ = 0;
+  stopped_by_cap_ = false;
+}
+
+}  // namespace mto

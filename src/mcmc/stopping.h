@@ -1,0 +1,77 @@
+#pragma once
+
+#include <memory>
+
+#include "src/mcmc/geweke.h"
+
+namespace mto {
+
+/// A stopping rule decides when a random walk has "burned in" enough to emit
+/// a sample (Algorithm 1's `Stopping rule`). Implementations observe the
+/// walk's attribute trace step by step.
+class StoppingRule {
+ public:
+  virtual ~StoppingRule() = default;
+
+  /// Observes the monitored attribute (degree by default) of the node the
+  /// walk moved to.
+  virtual void Observe(double theta) = 0;
+
+  /// True when the rule considers the walk converged.
+  virtual bool ShouldStop() = 0;
+
+  /// Resets for a fresh walk.
+  virtual void Reset() = 0;
+};
+
+/// Stops after a fixed number of steps.
+class FixedLengthRule final : public StoppingRule {
+ public:
+  explicit FixedLengthRule(size_t length);
+  void Observe(double theta) override;
+  bool ShouldStop() override;
+  void Reset() override;
+
+ private:
+  size_t length_;
+  size_t seen_ = 0;
+};
+
+/// Stops when the Geweke diagnostic converges — the paper's indicator.
+class GewekeRule final : public StoppingRule {
+ public:
+  explicit GewekeRule(double threshold = 0.1, size_t min_length = 200,
+                      size_t check_every = 50, GewekeOptions options = {});
+  void Observe(double theta) override;
+  bool ShouldStop() override;
+  void Reset() override;
+
+  /// Underlying monitor (for inspecting Z / trace).
+  const GewekeMonitor& monitor() const { return monitor_; }
+
+ private:
+  GewekeMonitor monitor_;
+};
+
+/// Geweke with a hard cap: stops when Geweke converges OR `max_steps`
+/// elapsed, whichever is first. Prevents unbounded runs on slow-mixing
+/// chains (exactly the regime the paper is about).
+class CappedGewekeRule final : public StoppingRule {
+ public:
+  CappedGewekeRule(double threshold, size_t max_steps, size_t min_length = 200,
+                   size_t check_every = 50, GewekeOptions options = {});
+  void Observe(double theta) override;
+  bool ShouldStop() override;
+  void Reset() override;
+
+  /// True iff the last stop was due to the cap rather than convergence.
+  bool StoppedByCap() const { return stopped_by_cap_; }
+
+ private:
+  GewekeMonitor monitor_;
+  size_t max_steps_;
+  size_t seen_ = 0;
+  bool stopped_by_cap_ = false;
+};
+
+}  // namespace mto

@@ -1,0 +1,45 @@
+#include "src/net/restricted_interface.h"
+
+#include <stdexcept>
+
+namespace mto {
+
+RestrictedInterface::RestrictedInterface(const SocialNetwork& network)
+    : network_(&network), cached_(network.num_users(), false) {}
+
+std::optional<QueryResult> RestrictedInterface::Query(NodeId v) {
+  if (v >= network_->num_users()) {
+    throw std::invalid_argument("Query: unknown user id");
+  }
+  ++total_requests_;
+  if (!cached_[v]) {
+    if (budget_ && unique_queries_ >= *budget_) return std::nullopt;
+    cached_[v] = true;
+    ++unique_queries_;
+  }
+  const Graph& g = network_->graph();
+  QueryResult r;
+  r.user = v;
+  r.profile = network_->profile(v);
+  auto nbrs = g.Neighbors(v);
+  r.neighbors.assign(nbrs.begin(), nbrs.end());
+  return r;
+}
+
+std::optional<uint32_t> RestrictedInterface::CachedDegree(NodeId v) const {
+  if (v >= network_->num_users() || !cached_[v]) return std::nullopt;
+  return network_->graph().Degree(v);
+}
+
+std::optional<QueryResult> RestrictedInterface::RandomUser(Rng& rng) {
+  NodeId v = static_cast<NodeId>(rng.UniformInt(network_->num_users()));
+  return Query(v);
+}
+
+void RestrictedInterface::Reset() {
+  cached_.assign(network_->num_users(), false);
+  unique_queries_ = 0;
+  total_requests_ = 0;
+}
+
+}  // namespace mto

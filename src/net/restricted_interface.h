@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/net/social_network.h"
+
+namespace mto {
+
+/// Response of one individual-user query q(v) (paper Section II-A):
+/// the user's profile plus the complete list of connected users.
+struct QueryResult {
+  NodeId user;
+  UserProfile profile;
+  std::vector<NodeId> neighbors;
+
+  uint32_t degree() const { return static_cast<uint32_t>(neighbors.size()); }
+};
+
+/// The restrictive web interface of an online social network, as seen by a
+/// third-party sampler.
+///
+/// Models the paper's access rules precisely:
+///  * the only operation is `Query(v)` returning v's profile and neighbors;
+///  * duplicate queries are answered from the sampler's local cache ("any
+///    duplicate query can be answered from local cache without consuming
+///    the query limit", Section II-B), so cost counts *unique* users only;
+///  * the total number of users is public (footnote 4) via `num_users()`;
+///  * `RandomUser()` models samplers that exploit a known id space (the
+///    Random Jump baseline, Section I-B); it costs one query.
+///  * an optional hard query budget makes `Query` report exhaustion, which
+///    experiment harnesses use to cap runs.
+class RestrictedInterface {
+ public:
+  /// Wraps a network. The interface does not own the network; keep it alive.
+  explicit RestrictedInterface(const SocialNetwork& network);
+
+  /// Issues q(v). Counts one unit of query cost iff `v` was never queried
+  /// before. Returns std::nullopt when the query budget is exhausted and
+  /// `v` is not cached.
+  std::optional<QueryResult> Query(NodeId v);
+
+  /// Degree of a previously queried user, without issuing a query.
+  /// Returns std::nullopt when `v` has never been queried (its degree is
+  /// unknown to a third party) — this powers Theorem 5's N* set.
+  std::optional<uint32_t> CachedDegree(NodeId v) const;
+
+  /// True iff `v` has been queried before (and is hence locally cached).
+  bool IsCached(NodeId v) const { return cached_[v]; }
+
+  /// Public total user count (paper footnote 4).
+  NodeId num_users() const { return network_->num_users(); }
+
+  /// A uniformly random user id; consumes one unit of query cost (the
+  /// returned user is fetched and cached). Used by Random Jump.
+  std::optional<QueryResult> RandomUser(Rng& rng);
+
+  /// Unique queries issued so far — the paper's query-cost measure.
+  uint64_t QueryCost() const { return unique_queries_; }
+
+  /// Total requests including cache hits (for diagnostics only).
+  uint64_t TotalRequests() const { return total_requests_; }
+
+  /// Sets a hard budget on unique queries; std::nullopt = unlimited.
+  void SetBudget(std::optional<uint64_t> budget) { budget_ = budget; }
+
+  /// Clears the cache and counters (new sampler session).
+  void Reset();
+
+ private:
+  const SocialNetwork* network_;
+  std::vector<bool> cached_;
+  uint64_t unique_queries_ = 0;
+  uint64_t total_requests_ = 0;
+  std::optional<uint64_t> budget_;
+};
+
+}  // namespace mto

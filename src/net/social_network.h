@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/util/rng.h"
+
+namespace mto {
+
+/// Per-user profile attributes, mirroring what the paper's individual-user
+/// query returns besides the neighbor list (Section II-A): user-published
+/// content metadata. The Google Plus experiment aggregates the
+/// self-description length (Fig 11c); `age` supports AVG-with-selection
+/// style aggregates in the examples.
+struct UserProfile {
+  uint32_t description_length = 0;  ///< characters in the self-description
+  uint32_t age = 0;                 ///< synthetic demographic attribute
+  uint32_t num_posts = 0;           ///< synthetic content count
+};
+
+/// A full online social network: the (hidden) topology plus user profiles.
+/// Third-party samplers never touch this class directly — they only see
+/// RestrictedInterface, which models the per-user web API.
+class SocialNetwork {
+ public:
+  /// Wraps a topology with all-default profiles.
+  explicit SocialNetwork(Graph graph);
+
+  /// Wraps a topology with the given profiles (must match node count).
+  SocialNetwork(Graph graph, std::vector<UserProfile> profiles);
+
+  /// Generates plausible synthetic profiles: description lengths are
+  /// log-normal and mildly degree-correlated (active users write more),
+  /// ages uniform in [16, 80), post counts heavy-tailed. Deterministic
+  /// given `seed`.
+  static SocialNetwork WithSyntheticProfiles(Graph graph, uint64_t seed);
+
+  /// Hidden topology (test/bench code only; samplers use the interface).
+  const Graph& graph() const { return graph_; }
+
+  /// Profile of user `v`.
+  const UserProfile& profile(NodeId v) const { return profiles_[v]; }
+
+  /// Number of users. Many real OSNs publish this for advertising purposes
+  /// (paper footnote 4), so it is considered public.
+  NodeId num_users() const { return graph_.num_nodes(); }
+
+  /// Exact population average of an attribute; ground truth for experiments.
+  double TrueAverageDegree() const;
+  double TrueAverageDescriptionLength() const;
+  double TrueAverageAge() const;
+
+ private:
+  Graph graph_;
+  std::vector<UserProfile> profiles_;
+};
+
+}  // namespace mto

@@ -1,0 +1,181 @@
+#include "src/spectral/conductance.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+#include "src/spectral/transition.h"
+#include "src/util/rng.h"
+
+namespace mto {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// φ from the incremental quantities: `cut` crossing edges, side volumes
+/// vol_s and vol_total - vol_s (degree sums).
+double RatioFrom(int64_t cut, int64_t vol_s, int64_t vol_total,
+                 CutMetric metric) {
+  int64_t denom_s, denom_rest;
+  if (metric == CutMetric::kDegreeVolume) {
+    denom_s = vol_s;
+    denom_rest = vol_total - vol_s;
+  } else {
+    // Edges incident to a side = (vol + cut) / 2 (internal edges counted
+    // twice in vol, crossing edges once).
+    denom_s = (vol_s + cut) / 2;
+    denom_rest = (vol_total - vol_s + cut) / 2;
+  }
+  int64_t denom = std::min(denom_s, denom_rest);
+  if (denom <= 0) return kInf;
+  return static_cast<double>(cut) / static_cast<double>(denom);
+}
+
+/// Shared Gray-code enumeration. Node 0 is pinned outside S (conductance is
+/// symmetric in S vs S̄), and `visit(cut, vol_s)` is called for every
+/// nonempty S ⊆ {1..n-1}; membership is available via `in_s`.
+template <typename Visitor>
+void EnumerateCuts(const Graph& g, Visitor visit, std::vector<bool>& in_s) {
+  const NodeId n = g.num_nodes();
+  in_s.assign(n, false);
+  int64_t cut = 0;
+  int64_t vol_s = 0;
+  const uint64_t count = 1ULL << (n - 1);
+  for (uint64_t s = 1; s < count; ++s) {
+    // Gray code: flipping bit index = trailing zeros of s; node = index + 1.
+    NodeId x = static_cast<NodeId>(std::countr_zero(s) + 1);
+    bool entering = !in_s[x];
+    in_s[x] = entering;
+    int64_t delta_cut = 0;
+    for (NodeId y : g.Neighbors(x)) {
+      // After the flip, edge (x,y) crosses iff in_s[y] != in_s[x].
+      delta_cut += (in_s[y] != in_s[x]) ? 1 : -1;
+    }
+    cut += delta_cut;
+    vol_s += entering ? g.Degree(x) : -static_cast<int64_t>(g.Degree(x));
+    visit(cut, vol_s);
+  }
+}
+
+void CheckEnumerable(const Graph& g, NodeId max_nodes) {
+  if (g.num_edges() == 0) {
+    throw std::invalid_argument("conductance: graph has no edges");
+  }
+  if (g.num_nodes() > max_nodes) {
+    throw std::invalid_argument("conductance: graph too large to enumerate");
+  }
+  if (g.num_nodes() < 2) {
+    throw std::invalid_argument("conductance: need at least 2 nodes");
+  }
+}
+
+}  // namespace
+
+double CutRatio(const Graph& g, const std::vector<bool>& in_s,
+                CutMetric metric) {
+  if (in_s.size() != g.num_nodes()) {
+    throw std::invalid_argument("CutRatio: mask size mismatch");
+  }
+  int64_t cut = 0, vol_s = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (in_s[u]) vol_s += g.Degree(u);
+    for (NodeId v : g.Neighbors(u)) {
+      if (u < v && in_s[u] != in_s[v]) ++cut;
+    }
+  }
+  return RatioFrom(cut, vol_s, static_cast<int64_t>(g.DegreeSum()), metric);
+}
+
+double ExactConductance(const Graph& g, CutMetric metric, NodeId max_nodes) {
+  CheckEnumerable(g, max_nodes);
+  const int64_t vol_total = static_cast<int64_t>(g.DegreeSum());
+  double best = kInf;
+  std::vector<bool> in_s;
+  EnumerateCuts(
+      g,
+      [&](int64_t cut, int64_t vol_s) {
+        double phi = RatioFrom(cut, vol_s, vol_total, metric);
+        if (phi < best) best = phi;
+      },
+      in_s);
+  return best;
+}
+
+std::vector<Edge> CrossCuttingEdges(const Graph& g, CutMetric metric,
+                                    NodeId max_nodes, double tolerance) {
+  const double phi_star = ExactConductance(g, metric, max_nodes);
+  const int64_t vol_total = static_cast<int64_t>(g.DegreeSum());
+  const double cutoff = phi_star * (1.0 + tolerance) + 1e-15;
+  std::set<Edge> cross;
+  std::vector<bool> in_s;
+  EnumerateCuts(
+      g,
+      [&](int64_t cut, int64_t vol_s) {
+        if (RatioFrom(cut, vol_s, vol_total, metric) > cutoff) return;
+        for (NodeId u = 0; u < g.num_nodes(); ++u) {
+          if (!in_s[u]) continue;
+          for (NodeId v : g.Neighbors(u)) {
+            if (!in_s[v]) cross.insert(Edge{u, v}.Normalized());
+          }
+        }
+      },
+      in_s);
+  return {cross.begin(), cross.end()};
+}
+
+double SweepConductance(const Graph& g, CutMetric metric,
+                        uint32_t power_iterations, uint64_t seed) {
+  if (g.num_nodes() < 2 || g.num_edges() == 0) {
+    throw std::invalid_argument("SweepConductance: trivial graph");
+  }
+  // Second eigenvector of the lazy symmetric operator by deflated power
+  // iteration (laziness makes the target the second-*largest* eigenvalue,
+  // whose eigenvector is the sweep direction).
+  TransitionOperator op(g, 0.5);
+  std::vector<double> phi = op.TopSymmetricEigenvector();
+  const size_t n = op.size();
+  Rng rng(seed);
+  std::vector<double> x(n), y(n);
+  for (double& v : x) v = rng.UniformDouble() - 0.5;
+  for (uint32_t it = 0; it < power_iterations; ++it) {
+    double c = 0.0;
+    for (size_t i = 0; i < n; ++i) c += x[i] * phi[i];
+    for (size_t i = 0; i < n; ++i) x[i] -= c * phi[i];
+    op.ApplySymmetric(x, y);
+    double norm = 0.0;
+    for (double v : y) norm += v * v;
+    norm = std::sqrt(norm);
+    if (norm == 0.0) break;
+    for (size_t i = 0; i < n; ++i) x[i] = y[i] / norm;
+  }
+  // Sweep over the D^{-1/2}-scaled embedding.
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> embed(n);
+  for (NodeId v = 0; v < n; ++v) {
+    uint32_t d = g.Degree(v);
+    embed[v] = d == 0 ? 0.0 : x[v] / std::sqrt(static_cast<double>(d));
+  }
+  std::sort(order.begin(), order.end(),
+            [&](NodeId a, NodeId b) { return embed[a] < embed[b]; });
+  std::vector<bool> in_s(n, false);
+  int64_t cut = 0, vol_s = 0;
+  const int64_t vol_total = static_cast<int64_t>(g.DegreeSum());
+  double best = kInf;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    NodeId x_node = order[i];
+    in_s[x_node] = true;
+    for (NodeId y_node : g.Neighbors(x_node)) {
+      cut += in_s[y_node] ? -1 : 1;
+    }
+    vol_s += g.Degree(x_node);
+    best = std::min(best, RatioFrom(cut, vol_s, vol_total, metric));
+  }
+  return best;
+}
+
+}  // namespace mto

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace mto {
+
+/// Which denominator a cut ratio uses.
+///
+/// The paper's Definition 3 divides the cut size by
+/// min(|{e_uv : u ∈ S}|, |{e_uv : u ∈ S̄}|) — the number of *edges incident
+/// to each side*, each edge counted once. This reproduces the running
+/// example exactly (Φ(barbell-11) = 1/(C(11,2)+1) = 1/56).
+///
+/// The classical (spectral) definition divides by min(vol(S), vol(S̄)) with
+/// vol = degree sum, which is what Cheeger-type inequalities relate to the
+/// transition-matrix spectrum. For a cut with c crossing edges:
+/// edges_incident(S) = (vol(S) + c) / 2, so the two differ by at most 2x.
+enum class CutMetric {
+  kPaperEdgeCount,  ///< paper Definition 3 (default everywhere)
+  kDegreeVolume,    ///< classical conductance (Cheeger inequalities)
+};
+
+/// φ(S) for a node subset given as a membership mask. Returns +infinity when
+/// either side has zero denominator (the subset witnesses no value).
+double CutRatio(const Graph& g, const std::vector<bool>& in_s,
+                CutMetric metric = CutMetric::kPaperEdgeCount);
+
+/// Exact graph conductance Φ(G) by enumerating all 2^(n-1) cuts with a
+/// Gray-code incremental update. Intended for small graphs; throws
+/// std::invalid_argument when n > max_nodes (default 25) or when the graph
+/// has no edges.
+double ExactConductance(const Graph& g,
+                        CutMetric metric = CutMetric::kPaperEdgeCount,
+                        NodeId max_nodes = 25);
+
+/// All cross-cutting edges of `g` (paper Definition 4): the union, over
+/// every subset S attaining Φ(G) (within `tolerance` relative), of the edges
+/// crossing (S, S̄). Same exhaustive-enumeration limits as ExactConductance.
+std::vector<Edge> CrossCuttingEdges(const Graph& g,
+                                    CutMetric metric = CutMetric::kPaperEdgeCount,
+                                    NodeId max_nodes = 25,
+                                    double tolerance = 1e-9);
+
+/// Sweep-cut upper bound on Φ(G) for graphs too large to enumerate:
+/// orders nodes by the (power-iteration) Fiedler-like vector of the lazy
+/// walk and takes the best prefix cut. Always >= Φ(G); equals it on many
+/// well-structured graphs. Requires >= 2 nodes and >= 1 edge.
+double SweepConductance(const Graph& g,
+                        CutMetric metric = CutMetric::kPaperEdgeCount,
+                        uint32_t power_iterations = 300,
+                        uint64_t seed = 0xF1ED1E);
+
+}  // namespace mto

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/graph/graph.h"
+
+namespace mto {
+
+/// Options for the deflated power iteration behind Slem().
+struct SlemOptions {
+  uint32_t max_iterations = 20000;
+  double tolerance = 1e-12;  ///< convergence of the eigenvalue estimate
+  uint64_t seed = 0x5EED5EED;
+  double laziness = 0.0;  ///< compute SLEM of the lazy chain instead
+};
+
+/// Second-Largest Eigenvalue Modulus of the SRW transition matrix P of `g`
+/// (paper Section V-A.3 / footnote 12). Computed matrix-free by power
+/// iteration on the symmetric similarity S = D^{1/2} P D^{-1/2} with the
+/// known top eigenvector (φ ∝ sqrt(deg)) deflated each step.
+///
+/// For a disconnected graph the multiplicity of eigenvalue 1 exceeds one, so
+/// the returned SLEM is (numerically) 1 — the chain never mixes, as expected.
+/// Requires at least one edge.
+double Slem(const Graph& g, const SlemOptions& options = {});
+
+/// Spectral gap 1 - SLEM.
+double SpectralGap(const Graph& g, const SlemOptions& options = {});
+
+}  // namespace mto

@@ -1,0 +1,51 @@
+#include "src/spectral/mixing.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mto {
+
+double MixingTimeFromSlem(double slem) {
+  if (slem >= 1.0) return std::numeric_limits<double>::infinity();
+  if (slem <= 0.0) return 0.0;
+  return 1.0 / std::log(1.0 / slem);
+}
+
+double MixingTimeUpperBoundCoefficient(double phi) {
+  if (phi <= 0.0 || phi > 1.0) {
+    throw std::invalid_argument("MixingTimeUpperBoundCoefficient: phi in (0,1]");
+  }
+  return -1.0 / std::log10(1.0 - phi * phi / 2.0);
+}
+
+double MixingTimeUpperBound(double phi, double epsilon, size_t num_edges,
+                            unsigned min_degree) {
+  if (min_degree == 0) {
+    throw std::invalid_argument("MixingTimeUpperBound: min_degree == 0");
+  }
+  const double c =
+      2.0 * static_cast<double>(num_edges) / static_cast<double>(min_degree);
+  if (epsilon <= 0.0 || epsilon >= c) {
+    throw std::invalid_argument("MixingTimeUpperBound: need 0 < epsilon < c");
+  }
+  return MixingTimeUpperBoundCoefficient(phi) * std::log10(c / epsilon);
+}
+
+double RelativeDistanceLowerBound(double phi, double t) {
+  double base = 1.0 - 2.0 * phi;
+  if (base <= 0.0) return 0.0;
+  return std::pow(base, t);
+}
+
+double RelativeDistanceUpperBound(double phi, double t, size_t num_edges,
+                                  unsigned min_degree) {
+  if (min_degree == 0) {
+    throw std::invalid_argument("RelativeDistanceUpperBound: min_degree == 0");
+  }
+  const double c =
+      2.0 * static_cast<double>(num_edges) / static_cast<double>(min_degree);
+  return c * std::pow(1.0 - phi * phi / 2.0, t);
+}
+
+}  // namespace mto

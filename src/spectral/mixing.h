@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+
+namespace mto {
+
+/// Mixing-time proxies used throughout the paper's evaluation.
+
+/// Theoretical mixing time Θ(1 / log(1/µ)) from the SLEM µ of the transition
+/// matrix (paper footnote 12; natural log). Returns +infinity when µ >= 1
+/// (disconnected or bipartite-periodic chain) and 0 when µ <= 0.
+double MixingTimeFromSlem(double slem);
+
+/// The coefficient T(Φ) in the paper's upper bound on mixing time
+/// (eq. 4–6): t ≥ T(Φ) · log10(c/ε) with c = 2|E| / min_v k_v and
+/// T(Φ) = -1 / log10(1 - Φ²/2).
+///
+/// Note on conventions: the paper's numeric examples (14212.3 for the
+/// barbell's Φ = 0.018; 46050.5 → 31979.1 for Φ = 0.010 → 0.012) are
+/// reproduced exactly by base-10 logarithms in both factors, so this
+/// library adopts that convention.
+double MixingTimeUpperBoundCoefficient(double phi);
+
+/// Full upper bound t(Φ, ε) = T(Φ) · log10(c/ε) on the steps needed to push
+/// the relative point-wise distance below ε (paper eq. 5), with
+/// c = 2 * num_edges / min_degree. Requires 0 < phi <= 1, 0 < epsilon < c.
+double MixingTimeUpperBound(double phi, double epsilon, size_t num_edges,
+                            unsigned min_degree);
+
+/// Lower-bound kernel of eq. 3: after t steps the relative point-wise
+/// distance is at least (1 - 2Φ)^t.
+double RelativeDistanceLowerBound(double phi, double t);
+
+/// Upper-bound kernel of eq. 3: Δ(t) <= (2|E|/min_deg) · (1 - Φ²/2)^t.
+double RelativeDistanceUpperBound(double phi, double t, size_t num_edges,
+                                  unsigned min_degree);
+
+}  // namespace mto

@@ -1,0 +1,80 @@
+#include "src/spectral/transition.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mto {
+
+std::vector<double> StationaryDistribution(const Graph& g) {
+  if (g.num_edges() == 0) {
+    throw std::invalid_argument("StationaryDistribution: no edges");
+  }
+  std::vector<double> pi(g.num_nodes());
+  const double denom = static_cast<double>(g.DegreeSum());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    pi[v] = static_cast<double>(g.Degree(v)) / denom;
+  }
+  return pi;
+}
+
+TransitionOperator::TransitionOperator(const Graph& g, double laziness)
+    : graph_(&g), laziness_(laziness) {
+  if (laziness < 0.0 || laziness >= 1.0) {
+    throw std::invalid_argument("TransitionOperator: laziness in [0,1)");
+  }
+  inv_sqrt_degree_.resize(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    uint32_t d = g.Degree(v);
+    inv_sqrt_degree_[v] = d == 0 ? 0.0 : 1.0 / std::sqrt(static_cast<double>(d));
+  }
+}
+
+size_t TransitionOperator::size() const { return graph_->num_nodes(); }
+
+void TransitionOperator::ApplyLeft(const std::vector<double>& x,
+                                   std::vector<double>& y) const {
+  const Graph& g = *graph_;
+  y.assign(g.num_nodes(), 0.0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    uint32_t d = g.Degree(u);
+    if (d == 0) {
+      y[u] += (1.0 - laziness_) * x[u];  // self-loop
+    } else {
+      double share = (1.0 - laziness_) * x[u] / static_cast<double>(d);
+      for (NodeId v : g.Neighbors(u)) y[v] += share;
+    }
+    y[u] += laziness_ * x[u];
+  }
+}
+
+void TransitionOperator::ApplySymmetric(const std::vector<double>& x,
+                                        std::vector<double>& y) const {
+  const Graph& g = *graph_;
+  y.assign(g.num_nodes(), 0.0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    double acc = 0.0;
+    for (NodeId v : g.Neighbors(u)) {
+      acc += x[v] * inv_sqrt_degree_[v];
+    }
+    double diag = g.Degree(u) == 0 ? (1.0 - laziness_) * x[u] : 0.0;
+    y[u] = (1.0 - laziness_) * acc * inv_sqrt_degree_[u] + diag +
+           laziness_ * x[u];
+  }
+}
+
+std::vector<double> TransitionOperator::TopSymmetricEigenvector() const {
+  const Graph& g = *graph_;
+  std::vector<double> phi(g.num_nodes());
+  double norm2 = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    // Isolated nodes are their own closed class: they also carry
+    // eigenvalue 1, but with weight 1 instead of sqrt(0).
+    phi[v] = g.Degree(v) == 0 ? 1.0 : std::sqrt(static_cast<double>(g.Degree(v)));
+    norm2 += phi[v] * phi[v];
+  }
+  double inv = 1.0 / std::sqrt(norm2);
+  for (double& x : phi) x *= inv;
+  return phi;
+}
+
+}  // namespace mto

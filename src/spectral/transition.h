@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace mto {
+
+/// Stationary distribution of the simple random walk on `g`:
+/// π(v) = k_v / (2|E|). Requires at least one edge.
+std::vector<double> StationaryDistribution(const Graph& g);
+
+/// The SRW transition operator P (P(u,v) = 1/k_u for v ∈ N(u)), exposed as
+/// matrix-free products. Isolated nodes are treated as self-loops
+/// (P(v,v) = 1) so the operator stays stochastic.
+///
+/// `laziness` L builds the lazy chain (1-L)·P + L·I, whose spectrum is
+/// shifted into [2L-1, 1]; L = 0.5 is the standard aperiodicity fix.
+class TransitionOperator {
+ public:
+  explicit TransitionOperator(const Graph& g, double laziness = 0.0);
+
+  /// y = x·P (left multiplication: distribution evolution).
+  void ApplyLeft(const std::vector<double>& x, std::vector<double>& y) const;
+
+  /// y = S·x for the symmetric similarity S = D^{1/2} P D^{-1/2}
+  /// (S(u,v) = 1/sqrt(k_u k_v)); S has the same spectrum as P.
+  void ApplySymmetric(const std::vector<double>& x,
+                      std::vector<double>& y) const;
+
+  /// Number of nodes of the underlying graph.
+  size_t size() const;
+
+  /// The (unit-norm) top eigenvector of S: φ(v) ∝ sqrt(k_v), eigenvalue 1.
+  std::vector<double> TopSymmetricEigenvector() const;
+
+ private:
+  const Graph* graph_;
+  double laziness_;
+  std::vector<double> inv_sqrt_degree_;
+};
+
+}  // namespace mto

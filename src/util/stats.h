@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <vector>
+
+namespace mto {
+
+/// Numerically stable running mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Number of observations added.
+  size_t count() const { return n_; }
+
+  /// Mean of the observations; 0 when empty.
+  double Mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+  /// Population variance (divide by n); 0 when fewer than 2 observations.
+  double Variance() const;
+
+  /// Sample variance (divide by n-1); 0 when fewer than 2 observations.
+  double SampleVariance() const;
+
+  /// Population standard deviation.
+  double StdDev() const;
+
+  /// Smallest observation; +inf when empty.
+  double Min() const { return min_; }
+
+  /// Largest observation; -inf when empty.
+  double Max() const { return max_; }
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void Merge(const RunningStats& other);
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Returns the arithmetic mean of `xs`; 0 for an empty vector.
+double Mean(const std::vector<double>& xs);
+
+/// Returns the population variance of `xs`; 0 for fewer than 2 elements.
+double Variance(const std::vector<double>& xs);
+
+/// Returns the `q`-quantile (q in [0,1]) of `xs` with linear interpolation
+/// between order statistics. Throws for an empty vector.
+double Quantile(std::vector<double> xs, double q);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets plus overflow
+/// buckets for out-of-range observations.
+class Histogram {
+ public:
+  /// Creates a histogram; requires lo < hi and bins >= 1.
+  Histogram(double lo, double hi, size_t bins);
+
+  /// Records one observation.
+  void Add(double x);
+
+  /// Total number of recorded observations.
+  size_t count() const { return total_; }
+
+  /// Count in regular bucket `i` (0-based).
+  size_t BinCount(size_t i) const { return counts_.at(i); }
+
+  /// Observations below `lo` / at-or-above `hi`.
+  size_t Underflow() const { return underflow_; }
+  size_t Overflow() const { return overflow_; }
+
+  /// Inclusive-lower bound of bucket `i`.
+  double BinLow(size_t i) const;
+
+  /// Number of regular buckets.
+  size_t bins() const { return counts_.size(); }
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<size_t> counts_;
+  size_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+/// Counts occurrences of integer keys; used for empirical sampling
+/// distributions over node ids.
+class Counter {
+ public:
+  /// Increments the count of `key` by `by`.
+  void Add(uint64_t key, uint64_t by = 1);
+
+  /// Count of `key` (0 when never seen).
+  uint64_t Get(uint64_t key) const;
+
+  /// Sum of all counts.
+  uint64_t Total() const { return total_; }
+
+  /// Number of distinct keys seen.
+  size_t DistinctKeys() const { return counts_.size(); }
+
+  /// Read-only view of the underlying map.
+  const std::map<uint64_t, uint64_t>& items() const { return counts_; }
+
+ private:
+  std::map<uint64_t, uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace mto

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mto {
+
+/// Small helper for emitting experiment results as aligned text tables and
+/// CSV. All bench binaries print their figure/table data through this class
+/// so output formats stay uniform.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have the same arity as the headers.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats each double with `precision` decimals.
+  void AddNumericRow(const std::vector<double>& row, int precision = 4);
+
+  /// Writes an aligned, human-readable table.
+  void PrintText(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (quotes fields containing commas/quotes).
+  void PrintCsv(std::ostream& os) const;
+
+  /// Number of data rows.
+  size_t rows() const { return rows_.size(); }
+
+  /// Formats a double with fixed precision (shared helper).
+  static std::string Num(double v, int precision = 4);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner (used between experiment sub-figures).
+void PrintBanner(std::ostream& os, const std::string& title);
+
+}  // namespace mto

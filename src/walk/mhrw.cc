@@ -1,0 +1,28 @@
+#include "src/walk/mhrw.h"
+
+namespace mto {
+
+MetropolisHastingsWalk::MetropolisHastingsWalk(RestrictedInterface& interface,
+                                               Rng& rng, NodeId start)
+    : Sampler(interface, rng, start) {}
+
+NodeId MetropolisHastingsWalk::Step() {
+  auto u = interface().Query(current());
+  if (!u || u->neighbors.empty()) return current();
+  NodeId proposal =
+      u->neighbors[static_cast<size_t>(rng().UniformInt(u->neighbors.size()))];
+  auto v = interface().Query(proposal);
+  if (!v) return current();  // budget exhausted
+  double ku = static_cast<double>(u->degree());
+  double kv = static_cast<double>(v->degree());
+  if (kv <= 0.0) return current();
+  if (rng().UniformDouble() < ku / kv) set_current(proposal);
+  return current();
+}
+
+double MetropolisHastingsWalk::CurrentDegreeForDiagnostic() {
+  auto r = interface().Query(current());
+  return r ? static_cast<double>(r->degree()) : 0.0;
+}
+
+}  // namespace mto

@@ -1,0 +1,33 @@
+#include "src/walk/parallel_walkers.h"
+
+#include <stdexcept>
+
+namespace mto {
+
+ParallelWalkers::ParallelWalkers(
+    std::vector<std::unique_ptr<Sampler>> walkers)
+    : walkers_(std::move(walkers)) {
+  if (walkers_.empty()) {
+    throw std::invalid_argument("ParallelWalkers: no walkers");
+  }
+  for (const auto& w : walkers_) {
+    if (w == nullptr) {
+      throw std::invalid_argument("ParallelWalkers: null walker");
+    }
+  }
+}
+
+void ParallelWalkers::StepAll() {
+  for (auto& w : walkers_) w->Step();
+}
+
+NodeId ParallelWalkers::StepOne(size_t i) { return walkers_.at(i)->Step(); }
+
+std::vector<NodeId> ParallelWalkers::Positions() const {
+  std::vector<NodeId> out;
+  out.reserve(walkers_.size());
+  for (const auto& w : walkers_) out.push_back(w->current());
+  return out;
+}
+
+}  // namespace mto

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/walk/sampler.h"
+
+namespace mto {
+
+/// Many random walks are faster than one (Alon et al., cited by the paper's
+/// Section VI): W walkers advance round-robin over the *same*
+/// RestrictedInterface, so their local caches merge — a region one walker
+/// has paid for is free for the others — and the query budget is shared.
+/// The paper notes MTO applies to each parallel walk unchanged because it
+/// is parameter-free and online; this pool is sampler-agnostic for exactly
+/// that reason.
+class ParallelWalkers {
+ public:
+  /// Takes ownership of the walkers (>= 1, all over the same interface).
+  explicit ParallelWalkers(std::vector<std::unique_ptr<Sampler>> walkers);
+
+  /// Advances every walker one step.
+  void StepAll();
+
+  /// Advances only walker `i` (round-robin drivers use `next()`).
+  NodeId StepOne(size_t i);
+
+  /// Number of walkers.
+  size_t size() const { return walkers_.size(); }
+
+  /// Access to walker `i`.
+  Sampler& walker(size_t i) { return *walkers_.at(i); }
+
+  /// Current positions of all walkers.
+  std::vector<NodeId> Positions() const;
+
+  /// One weighted sample from every walker: values of `attribute_of` at the
+  /// walkers' current nodes with their importance weights appended to the
+  /// output vectors.
+  template <typename AttributeFn>
+  void Collect(AttributeFn attribute_of, std::vector<double>& values,
+               std::vector<double>& weights) {
+    for (auto& w : walkers_) {
+      values.push_back(attribute_of(*w));
+      weights.push_back(w->ImportanceWeight());
+    }
+  }
+
+ private:
+  std::vector<std::unique_ptr<Sampler>> walkers_;
+};
+
+}  // namespace mto

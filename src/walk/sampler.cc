@@ -1,0 +1,28 @@
+#include "src/walk/sampler.h"
+
+#include <stdexcept>
+
+namespace mto {
+
+Sampler::Sampler(RestrictedInterface& interface, Rng& rng, NodeId start)
+    : interface_(&interface), rng_(&rng), current_(start) {
+  if (start >= interface.num_users()) {
+    throw std::invalid_argument("Sampler: start node out of range");
+  }
+}
+
+UserProfile Sampler::CurrentProfile() {
+  auto r = interface_->Query(current_);
+  // current() is always a node the walk has already queried, so the cache
+  // answers even under an exhausted budget.
+  if (!r) throw std::logic_error("Sampler: current node not cached");
+  return r->profile;
+}
+
+uint32_t Sampler::CurrentDegree() {
+  auto r = interface_->Query(current_);
+  if (!r) throw std::logic_error("Sampler: current node not cached");
+  return r->degree();
+}
+
+}  // namespace mto

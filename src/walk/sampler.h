@@ -1,0 +1,71 @@
+#pragma once
+
+#include <string>
+
+#include "src/net/restricted_interface.h"
+#include "src/util/rng.h"
+
+namespace mto {
+
+/// Base class for random-walk samplers over a RestrictedInterface.
+///
+/// A sampler owns its position but not the interface (the interface is the
+/// shared "session" whose cache and query counter persist across samplers in
+/// ablation studies only when explicitly reused). Each `Step()` advances the
+/// chain one transition; the harness interleaves steps with a StoppingRule
+/// and reads samples off `current()`.
+class Sampler {
+ public:
+  /// `start` must be a valid user id of the interface's network.
+  Sampler(RestrictedInterface& interface, Rng& rng, NodeId start);
+  virtual ~Sampler() = default;
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Advances one step and returns the new position. If the interface's
+  /// query budget is exhausted mid-step the walk stays put; callers detect
+  /// exhaustion via the interface.
+  virtual NodeId Step() = 0;
+
+  /// Current position of the walk.
+  NodeId current() const { return current_; }
+
+  /// The walk's own view of the degree of its current node: the attribute
+  /// fed to the Geweke diagnostic. For baselines this is the true degree;
+  /// for MTO it is the overlay degree (the chain the diagnostic must judge
+  /// is the overlay chain).
+  virtual double CurrentDegreeForDiagnostic() = 0;
+
+  /// Importance weight proportional to 1/τ(current), where τ is the chain's
+  /// stationary distribution. Used by self-normalized importance-sampling
+  /// estimators with a uniform target. MAY issue queries (MTO's overlay-
+  /// degree probing).
+  virtual double ImportanceWeight() = 0;
+
+  /// Profile of the current node (cached query; never costs extra).
+  UserProfile CurrentProfile();
+
+  /// True (original-graph) degree of the current node — the value the
+  /// average-degree aggregate estimates. Cached query; never costs extra.
+  uint32_t CurrentDegree();
+
+  /// Human-readable sampler name ("SRW", "MHRW", "RJ", "MTO").
+  virtual std::string name() const = 0;
+
+  /// Moves the walk to `node` without transition semantics (restart).
+  virtual void Teleport(NodeId node) { current_ = node; }
+
+ protected:
+  RestrictedInterface& interface() { return *interface_; }
+  const RestrictedInterface& interface() const { return *interface_; }
+  Rng& rng() { return *rng_; }
+  void set_current(NodeId v) { current_ = v; }
+
+ private:
+  RestrictedInterface* interface_;
+  Rng* rng_;
+  NodeId current_;
+};
+
+}  // namespace mto

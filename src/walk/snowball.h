@@ -1,0 +1,44 @@
+#pragma once
+
+#include <deque>
+
+#include "src/walk/sampler.h"
+
+namespace mto {
+
+/// Breadth-first (snowball) crawler, the classical baseline the paper's
+/// related-work section contrasts against random walks (Section VI, citing
+/// Gjoka et al. and Leskovec & Faloutsos): expand outward from a seed,
+/// visiting each frontier node once. BFS yields *biased* samples (it
+/// overrepresents high-degree regions near the seed and has no principled
+/// reweighting), which is why the paper builds on walks instead; this class
+/// exists so that the bias is demonstrable inside this library.
+///
+/// Step() dequeues the next frontier node, queries it, enqueues its unseen
+/// neighbors, and makes it the current position. When the frontier empties
+/// (component exhausted or budget gone) the crawler stays put.
+class SnowballCrawler final : public Sampler {
+ public:
+  SnowballCrawler(RestrictedInterface& interface, Rng& rng, NodeId seed);
+
+  NodeId Step() override;
+  double CurrentDegreeForDiagnostic() override;
+
+  /// BFS has no tractable stationary distribution; weights are flat, which
+  /// is exactly the (biased) "take the crawl as a sample" practice.
+  double ImportanceWeight() override { return 1.0; }
+  std::string name() const override { return "BFS"; }
+
+  /// Nodes currently queued for expansion.
+  size_t FrontierSize() const { return frontier_.size(); }
+
+  /// Total nodes dequeued so far.
+  size_t Visited() const { return visited_; }
+
+ private:
+  std::deque<NodeId> frontier_;
+  std::vector<bool> enqueued_;
+  size_t visited_ = 0;
+};
+
+}  // namespace mto

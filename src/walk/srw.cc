@@ -1,0 +1,33 @@
+#include "src/walk/srw.h"
+
+namespace mto {
+
+SimpleRandomWalk::SimpleRandomWalk(RestrictedInterface& interface, Rng& rng,
+                                   NodeId start)
+    : Sampler(interface, rng, start) {}
+
+NodeId SimpleRandomWalk::Step() {
+  auto r = interface().Query(current());
+  if (!r || r->neighbors.empty()) return current();
+  NodeId next =
+      r->neighbors[static_cast<size_t>(rng().UniformInt(r->neighbors.size()))];
+  // The move itself needs no information about `next` beyond its id; the
+  // next Step() queries it. Query eagerly anyway so the degree diagnostic
+  // reflects the node we now stand on — this mirrors the paper where every
+  // visited node costs one (unique) query.
+  if (interface().Query(next)) set_current(next);
+  return current();
+}
+
+double SimpleRandomWalk::CurrentDegreeForDiagnostic() {
+  auto r = interface().Query(current());
+  return r ? static_cast<double>(r->degree()) : 0.0;
+}
+
+double SimpleRandomWalk::ImportanceWeight() {
+  auto r = interface().Query(current());
+  if (!r || r->degree() == 0) return 0.0;
+  return 1.0 / static_cast<double>(r->degree());
+}
+
+}  // namespace mto

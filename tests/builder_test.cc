@@ -1,0 +1,108 @@
+#include "src/graph/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+#include "src/graph/graph_stats.h"
+
+namespace mto {
+namespace {
+
+TEST(BuilderTest, DeduplicatesAndDropsSelfLoops) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);  // duplicate in other direction
+  b.AddEdge(0, 1);  // duplicate
+  b.AddEdge(2, 2);  // self-loop
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(BuilderTest, ReserveNodesKeepsIsolated) {
+  GraphBuilder b;
+  b.ReserveNodes(10);
+  b.AddEdge(0, 1);
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_nodes(), 10u);
+  EXPECT_EQ(g.Degree(9), 0u);
+}
+
+TEST(BuilderTest, NodeCountGrowsWithEdges) {
+  GraphBuilder b;
+  b.AddEdge(3, 7);
+  EXPECT_EQ(b.num_nodes(), 8u);
+}
+
+TEST(BuilderTest, MutualKeepsOnlyBidirectionalArcs) {
+  GraphBuilder b;
+  b.AddArc(0, 1);
+  b.AddArc(1, 0);  // mutual -> kept
+  b.AddArc(1, 2);  // one-way -> dropped
+  b.AddArc(3, 2);
+  b.AddArc(2, 3);  // mutual -> kept
+  Graph g = b.BuildMutual();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_FALSE(g.HasEdge(1, 2));
+}
+
+TEST(BuilderTest, MutualTreatsUndirectedEdgeAsBothArcs) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  Graph g = b.BuildMutual();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+}
+
+TEST(BuilderTest, BuildIgnoresArcDirection) {
+  GraphBuilder b;
+  b.AddArc(0, 1);  // one-way, but Build() is undirected
+  Graph g = b.Build();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+}
+
+TEST(BuilderTest, MutualDuplicateArcsCollapse) {
+  GraphBuilder b;
+  b.AddArc(0, 1);
+  b.AddArc(0, 1);
+  b.AddArc(1, 0);
+  Graph g = b.BuildMutual();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(LargestComponentTest, ExtractsBiggest) {
+  GraphBuilder b;
+  // Component A: triangle 0-1-2. Component B: edge 3-4.
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  b.AddEdge(3, 4);
+  std::vector<NodeId> mapping;
+  Graph g = LargestComponent(b.Build(), &mapping);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(IsConnected(g));
+  ASSERT_EQ(mapping.size(), 5u);
+  EXPECT_NE(mapping[0], kInvalidNode);
+  EXPECT_EQ(mapping[3], kInvalidNode);
+  EXPECT_EQ(mapping[4], kInvalidNode);
+}
+
+TEST(LargestComponentTest, ConnectedGraphUnchanged) {
+  Graph g = Cycle(6);
+  Graph lc = LargestComponent(g);
+  EXPECT_EQ(lc.num_nodes(), 6u);
+  EXPECT_EQ(lc.num_edges(), 6u);
+}
+
+TEST(LargestComponentTest, IsolatedNodesDropped) {
+  GraphBuilder b;
+  b.ReserveNodes(5);
+  b.AddEdge(0, 1);
+  Graph lc = LargestComponent(b.Build());
+  EXPECT_EQ(lc.num_nodes(), 2u);
+}
+
+}  // namespace
+}  // namespace mto

@@ -1,0 +1,157 @@
+#include "src/spectral/conductance.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/graph/builder.h"
+#include "src/graph/generators.h"
+
+namespace mto {
+namespace {
+
+TEST(CutRatioTest, PaperMetricCountsIncidentEdges) {
+  Graph g = Barbell(3);
+  std::vector<bool> in_s(6, false);
+  in_s[0] = in_s[1] = in_s[2] = true;  // left triangle
+  // cut = 1 bridge; edges incident to S = 3 internal + 1 bridge = 4.
+  EXPECT_DOUBLE_EQ(CutRatio(g, in_s), 1.0 / 4.0);
+}
+
+TEST(CutRatioTest, VolumeMetricCountsDegrees) {
+  Graph g = Barbell(3);
+  std::vector<bool> in_s(6, false);
+  in_s[0] = in_s[1] = in_s[2] = true;
+  // vol(S) = 2 + 2 + 3 = 7.
+  EXPECT_DOUBLE_EQ(CutRatio(g, in_s, CutMetric::kDegreeVolume), 1.0 / 7.0);
+}
+
+TEST(CutRatioTest, EmptySideIsInfinite) {
+  Graph g = Cycle(4);
+  std::vector<bool> none(4, false);
+  EXPECT_TRUE(std::isinf(CutRatio(g, none)));
+  std::vector<bool> all(4, true);
+  EXPECT_TRUE(std::isinf(CutRatio(g, all)));
+}
+
+TEST(CutRatioTest, MaskSizeMismatchThrows) {
+  Graph g = Cycle(4);
+  EXPECT_THROW(CutRatio(g, std::vector<bool>(3, false)),
+               std::invalid_argument);
+}
+
+TEST(ExactConductanceTest, BarbellRunningExample) {
+  // Paper Section II-D: Φ(barbell-11) = 1 / (C(11,2) + 1) = 1/56 ≈ 0.018.
+  EXPECT_NEAR(ExactConductance(Barbell(11)), 1.0 / 56.0, 1e-12);
+}
+
+TEST(ExactConductanceTest, BarbellVolumeMetric) {
+  // Classical conductance of the same cut: 1 / vol(left) = 1/111.
+  EXPECT_NEAR(ExactConductance(Barbell(11), CutMetric::kDegreeVolume),
+              1.0 / 111.0, 1e-12);
+}
+
+TEST(ExactConductanceTest, CompleteGraphEvenN) {
+  // K_n, even n, balanced cut, k = n/2: cut = k², incident = C(k,2) + k²
+  // -> Φ = 2k / (3k - 1).
+  for (NodeId n : {4u, 6u, 8u}) {
+    double k = n / 2.0;
+    double expected = 2.0 * k / (3.0 * k - 1.0);
+    EXPECT_NEAR(ExactConductance(Complete(n)), expected, 1e-12) << "K_" << n;
+  }
+}
+
+TEST(ExactConductanceTest, CompleteGraphVolumeMetric) {
+  // Balanced cut of K_n: k² / (k (n-1)) = k / (n-1).
+  for (NodeId n : {4u, 6u, 8u}) {
+    double expected = (n / 2.0) / (n - 1.0);
+    EXPECT_NEAR(ExactConductance(Complete(n), CutMetric::kDegreeVolume),
+                expected, 1e-12);
+  }
+}
+
+TEST(ExactConductanceTest, CycleValue) {
+  // Even cycle, antipodal cut: cut 2, incident edges n/2 + 1 -> 4/(n+2).
+  EXPECT_NEAR(ExactConductance(Cycle(8)), 4.0 / 10.0, 1e-12);
+  EXPECT_NEAR(ExactConductance(Cycle(12)), 4.0 / 14.0, 1e-12);
+  EXPECT_NEAR(ExactConductance(Cycle(8), CutMetric::kDegreeVolume),
+              2.0 / 8.0, 1e-12);
+}
+
+TEST(ExactConductanceTest, PathHalfCut) {
+  // P4: best cut is the middle edge: cut 1, incident edges 2 -> 1/2.
+  EXPECT_NEAR(ExactConductance(Path(4)), 1.0 / 2.0, 1e-12);
+  EXPECT_NEAR(ExactConductance(Path(4), CutMetric::kDegreeVolume),
+              1.0 / 3.0, 1e-12);
+}
+
+TEST(ExactConductanceTest, DisconnectedIsZero) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 3);
+  EXPECT_DOUBLE_EQ(ExactConductance(b.Build()), 0.0);
+}
+
+TEST(ExactConductanceTest, TooLargeThrows) {
+  Rng rng(1);
+  Graph g = ErdosRenyiM(30, 100, rng);
+  EXPECT_THROW(ExactConductance(g), std::invalid_argument);
+  EXPECT_THROW(ExactConductance(Graph(3, {})), std::invalid_argument);
+}
+
+TEST(CrossCuttingEdgesTest, BarbellBridgeOnly) {
+  // The unique minimizing cut of the barbell crosses exactly the bridge.
+  Graph g = Barbell(6);
+  auto cross = CrossCuttingEdges(g);
+  ASSERT_EQ(cross.size(), 1u);
+  EXPECT_EQ(cross[0], (Edge{5, 6}));
+}
+
+TEST(CrossCuttingEdgesTest, CycleHasManyMinimizers) {
+  // Every antipodal cut of an even cycle attains Φ; their union covers all
+  // edges.
+  Graph g = Cycle(6);
+  auto cross = CrossCuttingEdges(g);
+  EXPECT_EQ(cross.size(), 6u);
+}
+
+TEST(CrossCuttingEdgesTest, TwoTrianglesBridge) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  b.AddEdge(3, 4);
+  b.AddEdge(4, 5);
+  b.AddEdge(3, 5);
+  b.AddEdge(2, 3);  // bridge
+  auto cross = CrossCuttingEdges(b.Build());
+  ASSERT_EQ(cross.size(), 1u);
+  EXPECT_EQ(cross[0], (Edge{2, 3}));
+}
+
+TEST(SweepConductanceTest, UpperBoundsExact) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    Graph g = ErdosRenyiM(14, 30, rng);
+    double exact = ExactConductance(g);
+    if (exact == 0.0) continue;  // disconnected
+    EXPECT_GE(SweepConductance(g) + 1e-9, exact) << "seed " << seed;
+  }
+}
+
+TEST(SweepConductanceTest, FindsBarbellBottleneck) {
+  // On the barbell the sweep cut is exact: the Fiedler vector separates
+  // the cliques.
+  Graph g = Barbell(8);
+  EXPECT_NEAR(SweepConductance(g), ExactConductance(g), 1e-9);
+  EXPECT_NEAR(SweepConductance(g, CutMetric::kDegreeVolume),
+              ExactConductance(g, CutMetric::kDegreeVolume), 1e-9);
+}
+
+TEST(SweepConductanceTest, TrivialGraphThrows) {
+  EXPECT_THROW(SweepConductance(Graph(1, {})), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mto

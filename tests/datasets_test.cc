@@ -1,0 +1,54 @@
+#include "src/graph/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/graph_stats.h"
+
+namespace mto {
+namespace {
+
+TEST(DatasetsTest, RegistryListsPaperDatasets) {
+  auto infos = ListDatasets();
+  ASSERT_GE(infos.size(), 4u);
+  EXPECT_EQ(infos[0].name, "epinions");
+  EXPECT_EQ(infos[0].paper_nodes, 26588u);
+  EXPECT_EQ(infos[0].paper_edges, 100120u);
+  EXPECT_NEAR(infos[0].paper_diameter90, 4.8, 1e-9);
+}
+
+TEST(DatasetsTest, UnknownNameThrows) {
+  EXPECT_THROW(MakeDataset("no-such-dataset"), std::invalid_argument);
+  EXPECT_THROW(GetDatasetInfo("no-such-dataset"), std::invalid_argument);
+}
+
+TEST(DatasetsTest, SmallVariantsAreConnectedAndClustered) {
+  for (const char* name :
+       {"epinions_small", "slashdot_b_small", "gplus_small"}) {
+    Graph g = MakeDataset(name);
+    EXPECT_TRUE(IsConnected(g)) << name;
+    EXPECT_GT(g.num_nodes(), 1000u) << name;
+    EXPECT_GT(AverageClustering(g), 0.05) << name;
+  }
+}
+
+TEST(DatasetsTest, SmallVariantDeterministic) {
+  Graph a = MakeDataset("epinions_small");
+  Graph b = MakeDataset("epinions_small");
+  EXPECT_EQ(a.num_nodes(), b.num_nodes());
+  EXPECT_EQ(a.Edges(), b.Edges());
+}
+
+TEST(DatasetsTest, EpinionsScaleApproximatesTableOne) {
+  Graph g = MakeDataset("epinions");
+  const DatasetInfo info = GetDatasetInfo("epinions");
+  // Node count within 10% (component extraction trims a little), edge count
+  // within a factor of 2 — the stand-in matches scale, not exact values.
+  EXPECT_GT(g.num_nodes(), info.paper_nodes * 9 / 10);
+  EXPECT_LT(g.num_nodes(), info.paper_nodes * 11 / 10);
+  EXPECT_GT(g.num_edges(), info.paper_edges / 2);
+  EXPECT_LT(g.num_edges(), info.paper_edges * 2);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+}  // namespace
+}  // namespace mto

@@ -1,0 +1,133 @@
+#include "src/mcmc/diagnostics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace mto {
+namespace {
+
+std::vector<double> Iid(size_t n, uint64_t seed, double shift = 0.0) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (double& x : out) x = rng.Normal() + shift;
+  return out;
+}
+
+TEST(GelmanRubinTest, NearOneForIdenticalDistributions) {
+  std::vector<std::vector<double>> chains{Iid(2000, 1), Iid(2000, 2),
+                                          Iid(2000, 3)};
+  double rhat = GelmanRubin(chains);
+  EXPECT_GT(rhat, 0.99);
+  EXPECT_LT(rhat, 1.05);
+}
+
+TEST(GelmanRubinTest, LargeForSeparatedChains) {
+  std::vector<std::vector<double>> chains{Iid(500, 1, 0.0), Iid(500, 2, 10.0)};
+  EXPECT_GT(GelmanRubin(chains), 3.0);
+}
+
+TEST(GelmanRubinTest, TruncatesToShortestChain) {
+  std::vector<std::vector<double>> chains{Iid(100, 1), Iid(5000, 2)};
+  EXPECT_NO_THROW(GelmanRubin(chains));
+}
+
+TEST(GelmanRubinTest, InvalidInputsThrow) {
+  EXPECT_THROW(GelmanRubin({Iid(100, 1)}), std::invalid_argument);
+  std::vector<std::vector<double>> tiny{{1.0, 2.0}, {1.0, 2.0}};
+  EXPECT_THROW(GelmanRubin(tiny), std::invalid_argument);
+}
+
+TEST(GelmanRubinTest, ZeroVarianceEqualMeansIsOne) {
+  std::vector<std::vector<double>> chains{std::vector<double>(10, 5.0),
+                                          std::vector<double>(10, 5.0)};
+  EXPECT_DOUBLE_EQ(GelmanRubin(chains), 1.0);
+}
+
+TEST(AutocorrelationTest, IidNearZero) {
+  auto trace = Iid(20000, 4);
+  EXPECT_NEAR(Autocorrelation(trace, 1), 0.0, 0.02);
+  EXPECT_NEAR(Autocorrelation(trace, 5), 0.0, 0.02);
+}
+
+TEST(AutocorrelationTest, LagZeroIsOne) {
+  auto trace = Iid(1000, 5);
+  EXPECT_NEAR(Autocorrelation(trace, 0), 1.0, 1e-9);
+}
+
+TEST(AutocorrelationTest, Ar1HasKnownDecay) {
+  // AR(1) with coefficient 0.8: ρ(k) = 0.8^k.
+  Rng rng(6);
+  std::vector<double> trace(50000);
+  double x = 0.0;
+  for (double& t : trace) {
+    x = 0.8 * x + rng.Normal();
+    t = x;
+  }
+  EXPECT_NEAR(Autocorrelation(trace, 1), 0.8, 0.02);
+  EXPECT_NEAR(Autocorrelation(trace, 2), 0.64, 0.03);
+}
+
+TEST(AutocorrelationTest, EdgeCases) {
+  std::vector<double> constant(100, 2.0);
+  EXPECT_DOUBLE_EQ(Autocorrelation(constant, 1), 0.0);
+  std::vector<double> trace{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(Autocorrelation(trace, 5), 0.0);
+}
+
+TEST(EffectiveSampleSizeTest, IidIsNearN) {
+  auto trace = Iid(5000, 7);
+  double ess = EffectiveSampleSize(trace);
+  EXPECT_GT(ess, 4000.0);
+  EXPECT_LE(ess, 5000.0);
+}
+
+TEST(EffectiveSampleSizeTest, CorrelatedIsMuchSmaller) {
+  Rng rng(8);
+  std::vector<double> trace(5000);
+  double x = 0.0;
+  for (double& t : trace) {
+    x = 0.95 * x + rng.Normal();
+    t = x;
+  }
+  // Theoretical ESS factor (1-ρ)/(1+ρ) ≈ 0.026 → ~128 of 5000.
+  double ess = EffectiveSampleSize(trace);
+  EXPECT_LT(ess, 600.0);
+  EXPECT_GE(ess, 1.0);
+}
+
+TEST(EffectiveSampleSizeTest, TinyTraces) {
+  EXPECT_DOUBLE_EQ(EffectiveSampleSize(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(EffectiveSampleSize(std::vector<double>{1.0}), 1.0);
+}
+
+TEST(MultiChainMonitorTest, ConvergesForMatchingChains) {
+  MultiChainMonitor monitor(3, 1.1, 50, 10);
+  Rng rng(9);
+  bool converged = false;
+  for (int i = 0; i < 5000 && !converged; ++i) {
+    for (size_t c = 0; c < 3; ++c) monitor.Add(c, rng.Normal());
+    converged = monitor.Converged();
+  }
+  EXPECT_TRUE(converged);
+  EXPECT_LE(monitor.last_rhat(), 1.1);
+}
+
+TEST(MultiChainMonitorTest, SeparatedChainsNeverConverge) {
+  MultiChainMonitor monitor(2, 1.05, 20, 5);
+  Rng rng(10);
+  for (int i = 0; i < 2000; ++i) {
+    monitor.Add(0, rng.Normal());
+    monitor.Add(1, rng.Normal() + 100.0);
+    EXPECT_FALSE(monitor.Converged());
+  }
+}
+
+TEST(MultiChainMonitorTest, SingleChainThrows) {
+  EXPECT_THROW(MultiChainMonitor(1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mto

@@ -1,0 +1,131 @@
+#include "src/core/edge_rules.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mto {
+namespace {
+
+TEST(RemovalCriterionTest, PaperFigure3Example) {
+  // Fig 3: u and v share 5 common neighbors, each has one extra edge plus
+  // the (u,v) edge: ku = kv = 7. ceil(5/2)+1 = 4 > 3.5 -> removable.
+  EXPECT_TRUE(RemovalCriterion(5, 7, 7));
+}
+
+TEST(RemovalCriterionTest, TriangleEdgeRemovable) {
+  // Triangle: common = 1, ku = kv = 2. ceil(1/2)+1 = 2 > 1 -> removable.
+  EXPECT_TRUE(RemovalCriterion(1, 2, 2));
+}
+
+TEST(RemovalCriterionTest, PathEdgeNotRemovable) {
+  // Interior path edge: no common neighbors, degrees 2/2: 1 > 1 false.
+  EXPECT_FALSE(RemovalCriterion(0, 2, 2));
+}
+
+TEST(RemovalCriterionTest, CliqueEdgesRemovable) {
+  // K_n edge: common = n-2, degrees n-1.
+  for (uint32_t n = 3; n <= 30; ++n) {
+    EXPECT_TRUE(RemovalCriterion(n - 2, n - 1, n - 1)) << "K_" << n;
+  }
+}
+
+TEST(RemovalCriterionTest, BridgeNeverRemovable) {
+  // Bridge edges have no common neighbors and high endpoint degree.
+  EXPECT_FALSE(RemovalCriterion(0, 11, 11));
+  EXPECT_FALSE(RemovalCriterion(0, 4, 2));
+}
+
+TEST(RemovalCriterionTest, UsesMaxOfDegrees) {
+  // common=2: lhs_twice = 2*1+2 = 4... ceil(2/2)+1 = 2 > max/2.
+  EXPECT_TRUE(RemovalCriterion(2, 3, 3));   // 2 > 1.5
+  EXPECT_FALSE(RemovalCriterion(2, 3, 4));  // 2 > 2 is false
+  EXPECT_FALSE(RemovalCriterion(2, 4, 3));  // symmetric in ku/kv
+}
+
+TEST(RemovalCriterionTest, TightnessBoundary) {
+  // Corollary 1: when ceil(c/2)+1 <= max/2 the edge may be cross-cutting;
+  // the criterion must NOT fire. Check the exact boundary c = max/2*2 - 2.
+  EXPECT_FALSE(RemovalCriterion(4, 12, 12));  // 3 > 6 false
+  EXPECT_TRUE(RemovalCriterion(9, 11, 11));   // 6 > 5.5 (barbell clique edge)
+  EXPECT_FALSE(RemovalCriterion(8, 11, 11));  // 5 > 5.5 false
+}
+
+TEST(RemovalCriterionTest, OddCommonRoundsUp) {
+  // ceil(3/2)+1 = 3.
+  EXPECT_TRUE(RemovalCriterion(3, 5, 5));   // 3 > 2.5
+  EXPECT_FALSE(RemovalCriterion(3, 6, 6));  // 3 > 3 false
+}
+
+TEST(RemovalCriterionExtendedTest, EmptyNStarEqualsTheorem3) {
+  for (uint32_t c = 0; c <= 10; ++c) {
+    for (uint32_t k = 1; k <= 14; ++k) {
+      EXPECT_EQ(RemovalCriterionExtended(c, k, k, {}),
+                RemovalCriterion(c, k, k))
+          << "c=" << c << " k=" << k;
+    }
+  }
+}
+
+TEST(RemovalCriterionExtendedTest, NotUniformlyStrongerThanTheorem3) {
+  // Eq. (9) is a *different* sufficient condition, not a superset of
+  // Theorem 3: moving a kw = 3 common neighbor into N* trades a possible
+  // ceil half-unit for a 1/2 bonus and can lose. Example: c = 1, k = 3.
+  //   Theorem 3: ceil(1/2) + 1 = 2 > 1.5        -> removable.
+  //   Eq. (9) with N* = {3}: 0 + 1 + 0.5 = 1.5 > 1.5 -> NOT removable.
+  // The sampler therefore evaluates the OR of both rules.
+  std::vector<uint32_t> n_star{3};
+  EXPECT_TRUE(RemovalCriterion(1, 3, 3));
+  EXPECT_FALSE(RemovalCriterionExtended(1, 3, 3, n_star));
+  // With kw = 2 (full bonus) the extension dominates on this boundary.
+  std::vector<uint32_t> strong{2};
+  EXPECT_TRUE(RemovalCriterionExtended(1, 3, 3, strong));
+}
+
+TEST(RemovalCriterionExtendedTest, DegreeTwoNeighborStrongerThanThree) {
+  // kw = 2 contributes (4-2)/2 = 1, kw = 3 contributes 1/2. Find a boundary
+  // where only the kw=2 knowledge flips the decision: c = 2, max k = 6.
+  // Base: ceil(2/2)+1 = 2 > 3 false.
+  // N* = {2}: ceil(1/2)+1+1 = 3 > 3 false.
+  // N* = {2,2}: ceil(0)+1+2 = 3 > 3 false.  (need max k = 5)
+  EXPECT_FALSE(RemovalCriterionExtended(2, 6, 6, std::vector<uint32_t>{2}));
+  EXPECT_TRUE(RemovalCriterionExtended(2, 5, 5, std::vector<uint32_t>{2, 2}));
+  EXPECT_FALSE(RemovalCriterionExtended(2, 5, 5, std::vector<uint32_t>{3, 3}));
+}
+
+TEST(RemovalCriterionExtendedTest, IgnoresOutOfRangeDegrees) {
+  // kw = 1 or kw >= 4 must not count toward N*.
+  std::vector<uint32_t> invalid{1, 4, 10};
+  for (uint32_t c = 0; c <= 6; ++c) {
+    EXPECT_EQ(RemovalCriterionExtended(c, 7, 7, invalid),
+              RemovalCriterion(c, 7, 7));
+  }
+}
+
+TEST(RemovalCriterionExtendedTest, NStarClampedToCommon) {
+  // Defensive: more small-degree entries than common neighbors must not
+  // inflate the bonus. Unclamped this would evaluate 2*0+2+6 = 8 > 4 (true);
+  // clamped to |N*| <= common = 1 it is 2*0+2+2 = 4 > 4 (false).
+  std::vector<uint32_t> too_many{2, 2, 2};
+  EXPECT_FALSE(RemovalCriterionExtended(1, 4, 4, too_many));
+}
+
+TEST(ReplacementAllowedTest, OnlyDegreeThree) {
+  EXPECT_FALSE(ReplacementAllowed(1));
+  EXPECT_FALSE(ReplacementAllowed(2));
+  EXPECT_TRUE(ReplacementAllowed(3));
+  EXPECT_FALSE(ReplacementAllowed(4));
+  EXPECT_FALSE(ReplacementAllowed(100));
+}
+
+TEST(RemovalGuardTest, FiresOnlyForDegreeOne) {
+  EXPECT_TRUE(RemovalWouldIsolate(1, 5));
+  EXPECT_TRUE(RemovalWouldIsolate(5, 1));
+  EXPECT_TRUE(RemovalWouldIsolate(1, 1));
+  EXPECT_TRUE(RemovalWouldIsolate(0, 3));
+  EXPECT_FALSE(RemovalWouldIsolate(2, 2));
+  EXPECT_FALSE(RemovalWouldIsolate(10, 3));
+}
+
+}  // namespace
+}  // namespace mto

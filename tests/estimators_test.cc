@@ -1,0 +1,78 @@
+#include "src/estimate/estimators.h"
+
+#include <gtest/gtest.h>
+
+namespace mto {
+namespace {
+
+TEST(ImportanceSamplingMeanTest, UnweightedIsPlainMean) {
+  std::vector<WeightedSample> samples{{1.0, 1.0}, {2.0, 1.0}, {3.0, 1.0}};
+  EXPECT_DOUBLE_EQ(ImportanceSamplingMean(samples), 2.0);
+}
+
+TEST(ImportanceSamplingMeanTest, WeightsReweight) {
+  // Value 10 with weight 3 and value 0 with weight 1 -> 7.5.
+  std::vector<WeightedSample> samples{{10.0, 3.0}, {0.0, 1.0}};
+  EXPECT_DOUBLE_EQ(ImportanceSamplingMean(samples), 7.5);
+}
+
+TEST(ImportanceSamplingMeanTest, CorrectsDegreeBias) {
+  // SRW over a star samples the hub (deg 4) 1/2 of the time and each spoke
+  // (deg 1) 1/8. With weights 1/deg, the estimator of the average of
+  // f(hub)=100, f(spoke)=0 must approach the population mean 20.
+  std::vector<WeightedSample> samples;
+  for (int i = 0; i < 400; ++i) samples.push_back({100.0, 1.0 / 4.0});  // hub
+  for (int i = 0; i < 400; ++i) samples.push_back({0.0, 1.0});  // spokes
+  // Stationary: hub sampled with prob 1/2 -> equal counts of hub/spokes.
+  EXPECT_DOUBLE_EQ(ImportanceSamplingMean(samples), 100.0 * 0.25 / 1.25);
+  // = 20, the true mean over 5 nodes.
+  EXPECT_DOUBLE_EQ(ImportanceSamplingMean(samples), 20.0);
+}
+
+TEST(ImportanceSamplingMeanTest, EmptyThrows) {
+  EXPECT_THROW(ImportanceSamplingMean({}), std::invalid_argument);
+}
+
+TEST(ImportanceSamplingMeanTest, AllZeroWeightsThrow) {
+  std::vector<WeightedSample> samples{{1.0, 0.0}};
+  EXPECT_THROW(ImportanceSamplingMean(samples), std::invalid_argument);
+}
+
+TEST(RunningImportanceMeanTest, MatchesBatch) {
+  std::vector<WeightedSample> samples{{1.0, 0.5}, {4.0, 2.0}, {-2.0, 1.0}};
+  RunningImportanceMean running;
+  for (const auto& s : samples) running.Add(s.value, s.weight);
+  EXPECT_DOUBLE_EQ(running.Estimate(), ImportanceSamplingMean(samples));
+  EXPECT_EQ(running.count(), 3u);
+}
+
+TEST(RunningImportanceMeanTest, InvalidBeforeFirstAdd) {
+  RunningImportanceMean running;
+  EXPECT_FALSE(running.Valid());
+  EXPECT_THROW(running.Estimate(), std::logic_error);
+  running.Add(1.0, 0.0);
+  EXPECT_FALSE(running.Valid());
+  running.Add(1.0, 1.0);
+  EXPECT_TRUE(running.Valid());
+}
+
+TEST(RunningImportanceMeanTest, NegativeWeightThrows) {
+  RunningImportanceMean running;
+  EXPECT_THROW(running.Add(1.0, -0.1), std::invalid_argument);
+}
+
+TEST(SumFromMeanTest, ScalesByPopulation) {
+  EXPECT_DOUBLE_EQ(SumFromMean(2.5, 1000), 2500.0);
+  EXPECT_DOUBLE_EQ(SumFromMean(0.0, 42), 0.0);
+}
+
+TEST(RelativeErrorTest, Basics) {
+  EXPECT_DOUBLE_EQ(RelativeError(11.0, 10.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(9.0, 10.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(10.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeError(-5.0, -10.0), 0.5);
+  EXPECT_THROW(RelativeError(1.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mto

@@ -1,0 +1,116 @@
+#include "src/graph/graph_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/builder.h"
+#include "src/graph/generators.h"
+
+namespace mto {
+namespace {
+
+TEST(GraphStatsTest, BfsDistancesOnPath) {
+  Graph g = Path(5);
+  auto d = BfsDistances(g, 0);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(d[v], v);
+}
+
+TEST(GraphStatsTest, BfsUnreachable) {
+  GraphBuilder b;
+  b.ReserveNodes(4);
+  b.AddEdge(0, 1);
+  auto d = BfsDistances(b.Build(), 0);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], kUnreachable);
+  EXPECT_EQ(d[3], kUnreachable);
+}
+
+TEST(GraphStatsTest, ComponentsAndConnectivity) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 3);
+  b.ReserveNodes(5);
+  Graph g = b.Build();
+  EXPECT_EQ(NumComponents(g), 3u);
+  EXPECT_FALSE(IsConnected(g));
+  EXPECT_TRUE(IsConnected(Cycle(4)));
+  EXPECT_TRUE(IsConnected(Graph()));
+}
+
+TEST(GraphStatsTest, ClusteringOnCompleteGraph) {
+  Graph g = Complete(5);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_DOUBLE_EQ(LocalClustering(g, v), 1.0);
+  EXPECT_DOUBLE_EQ(AverageClustering(g), 1.0);
+  EXPECT_DOUBLE_EQ(Transitivity(g), 1.0);
+}
+
+TEST(GraphStatsTest, ClusteringOnStarIsZero) {
+  Graph g = Star(6);
+  EXPECT_DOUBLE_EQ(AverageClustering(g), 0.0);
+  EXPECT_DOUBLE_EQ(Transitivity(g), 0.0);
+}
+
+TEST(GraphStatsTest, ClusteringKnownValue) {
+  // Triangle plus a pendant on node 0: c(0) = 1/3, c(1) = c(2) = 1, c(3)=0.
+  Graph g(4, {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  EXPECT_NEAR(LocalClustering(g, 0), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(LocalClustering(g, 1), 1.0);
+  EXPECT_DOUBLE_EQ(LocalClustering(g, 3), 0.0);
+  EXPECT_NEAR(AverageClustering(g), (1.0 / 3.0 + 1.0 + 1.0 + 0.0) / 4.0, 1e-12);
+}
+
+TEST(GraphStatsTest, DegreeHistogram) {
+  Graph g = Star(5);
+  auto h = DegreeHistogram(g);
+  ASSERT_EQ(h.size(), 5u);
+  EXPECT_EQ(h[1], 4u);
+  EXPECT_EQ(h[4], 1u);
+  EXPECT_EQ(h[2], 0u);
+}
+
+TEST(GraphStatsTest, AverageDegree) {
+  EXPECT_DOUBLE_EQ(AverageDegree(Cycle(10)), 2.0);
+  EXPECT_DOUBLE_EQ(AverageDegree(Complete(5)), 4.0);
+  EXPECT_DOUBLE_EQ(AverageDegree(Graph()), 0.0);
+}
+
+TEST(GraphStatsTest, ExactDiameter) {
+  EXPECT_EQ(ExactDiameter(Path(6)), 5u);
+  EXPECT_EQ(ExactDiameter(Cycle(8)), 4u);
+  EXPECT_EQ(ExactDiameter(Complete(9)), 1u);
+  EXPECT_EQ(ExactDiameter(Barbell(4)), 3u);
+}
+
+TEST(GraphStatsTest, EffectiveDiameterCompleteGraph) {
+  Rng rng(1);
+  // All pairs at distance 1: 90% effective diameter interpolates inside
+  // the d = 1 bucket, so it lies in (0, 1].
+  double d = EffectiveDiameter90(Complete(20), rng, 20);
+  EXPECT_GT(d, 0.0);
+  EXPECT_LE(d, 1.0);
+}
+
+TEST(GraphStatsTest, EffectiveDiameterPathGrowsWithLength) {
+  Rng rng(2);
+  double d_short = EffectiveDiameter90(Path(10), rng, 10);
+  double d_long = EffectiveDiameter90(Path(100), rng, 100);
+  EXPECT_LT(d_short, d_long);
+  EXPECT_GT(d_long, 50.0);  // 90% of pair distances on a long path are big
+}
+
+TEST(GraphStatsTest, EffectiveDiameterSampledCloseToExact) {
+  Rng rng1(3), rng2(4);
+  Graph g = BarabasiAlbert(800, 3, rng1);
+  Rng full_rng(5), sample_rng(6);
+  double exact = EffectiveDiameter90(g, full_rng, 800);
+  double sampled = EffectiveDiameter90(g, sample_rng, 64);
+  EXPECT_NEAR(sampled, exact, 0.5);
+  (void)rng2;
+}
+
+TEST(GraphStatsTest, EmptyGraphDiameterZero) {
+  Rng rng(7);
+  EXPECT_DOUBLE_EQ(EffectiveDiameter90(Graph(), rng), 0.0);
+}
+
+}  // namespace
+}  // namespace mto

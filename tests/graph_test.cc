@@ -1,0 +1,125 @@
+#include "src/graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+
+namespace mto {
+namespace {
+
+Graph Triangle() { return Graph(3, {{0, 1}, {1, 2}, {0, 2}}); }
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.DegreeSum(), 0u);
+  EXPECT_EQ(g.MinDegree(), 0u);
+  EXPECT_EQ(g.MaxDegree(), 0u);
+}
+
+TEST(GraphTest, NodesWithoutEdges) {
+  Graph g(4, {});
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.Degree(2), 0u);
+  EXPECT_TRUE(g.Neighbors(2).empty());
+}
+
+TEST(GraphTest, TriangleBasics) {
+  Graph g = Triangle();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.DegreeSum(), 6u);
+  for (NodeId v = 0; v < 3; ++v) EXPECT_EQ(g.Degree(v), 2u);
+}
+
+TEST(GraphTest, NeighborsSortedAscending) {
+  Graph g(5, {{0, 4}, {0, 2}, {0, 1}, {0, 3}});
+  auto nbrs = g.Neighbors(0);
+  ASSERT_EQ(nbrs.size(), 4u);
+  for (size_t i = 1; i < nbrs.size(); ++i) EXPECT_LT(nbrs[i - 1], nbrs[i]);
+}
+
+TEST(GraphTest, HasEdgeSymmetric) {
+  Graph g = Triangle();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  Graph h(3, {{0, 1}});
+  EXPECT_FALSE(h.HasEdge(1, 2));
+  EXPECT_FALSE(h.HasEdge(2, 1));
+}
+
+TEST(GraphTest, SelfLoopRejected) {
+  EXPECT_THROW(Graph(3, {{1, 1}}), std::invalid_argument);
+}
+
+TEST(GraphTest, OutOfRangeEndpointRejected) {
+  EXPECT_THROW(Graph(2, {{0, 2}}), std::invalid_argument);
+}
+
+TEST(GraphTest, DuplicateEdgeRejected) {
+  EXPECT_THROW(Graph(3, {{0, 1}, {1, 0}}), std::invalid_argument);
+  EXPECT_THROW(Graph(3, {{0, 1}, {0, 1}}), std::invalid_argument);
+}
+
+TEST(GraphTest, CommonNeighborCount) {
+  // 0 and 1 share neighbors {2, 3}; 0 additionally has 4.
+  Graph g(5, {{0, 2}, {0, 3}, {0, 4}, {1, 2}, {1, 3}, {0, 1}});
+  EXPECT_EQ(g.CommonNeighborCount(0, 1), 2u);
+  EXPECT_EQ(g.CommonNeighborCount(1, 0), 2u);
+  EXPECT_EQ(g.CommonNeighborCount(2, 3), 2u);  // both adjacent to 0 and 1
+  EXPECT_EQ(g.CommonNeighborCount(0, 4), 0u);
+}
+
+TEST(GraphTest, CommonNeighborsList) {
+  Graph g(5, {{0, 2}, {0, 3}, {1, 2}, {1, 3}, {0, 4}});
+  auto common = g.CommonNeighbors(0, 1);
+  ASSERT_EQ(common.size(), 2u);
+  EXPECT_EQ(common[0], 2u);
+  EXPECT_EQ(common[1], 3u);
+}
+
+TEST(GraphTest, EdgesNormalizedSortedUnique) {
+  Graph g(4, {{2, 1}, {3, 0}, {1, 0}});
+  auto edges = g.Edges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], (Edge{0, 1}));
+  EXPECT_EQ(edges[1], (Edge{0, 3}));
+  EXPECT_EQ(edges[2], (Edge{1, 2}));
+}
+
+TEST(GraphTest, MinMaxDegree) {
+  Graph g = Star(6);
+  EXPECT_EQ(g.MaxDegree(), 5u);
+  EXPECT_EQ(g.MinDegree(), 1u);
+}
+
+TEST(GraphTest, EdgeNormalize) {
+  Edge e{5, 2};
+  EXPECT_EQ(e.Normalized(), (Edge{2, 5}));
+  Edge f{2, 5};
+  EXPECT_EQ(f.Normalized(), f);
+}
+
+TEST(GraphTest, CompleteGraphDegrees) {
+  Graph g = Complete(7);
+  EXPECT_EQ(g.num_edges(), 21u);
+  for (NodeId v = 0; v < 7; ++v) EXPECT_EQ(g.Degree(v), 6u);
+  EXPECT_EQ(g.CommonNeighborCount(0, 1), 5u);
+}
+
+TEST(GraphTest, BarbellRunningExampleCounts) {
+  // Paper running example: 22 nodes, 111 edges.
+  Graph g = Barbell(11);
+  EXPECT_EQ(g.num_nodes(), 22u);
+  EXPECT_EQ(g.num_edges(), 111u);
+  // Bridge endpoints have degree 11, everyone else 10.
+  EXPECT_EQ(g.Degree(10), 11u);
+  EXPECT_EQ(g.Degree(11), 11u);
+  EXPECT_EQ(g.Degree(0), 10u);
+  EXPECT_TRUE(g.HasEdge(10, 11));
+}
+
+}  // namespace
+}  // namespace mto

@@ -1,0 +1,82 @@
+#include "src/graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/graph/generators.h"
+
+namespace mto {
+namespace {
+
+TEST(IoTest, ReadBasicEdgeList) {
+  std::istringstream in("# comment\n0 1\n1 2\n");
+  Graph g = ReadEdgeList(in);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+}
+
+TEST(IoTest, CompactsSparseIds) {
+  std::istringstream in("100 200\n200 300\n");
+  Graph g = ReadEdgeList(in, /*compact_ids=*/true);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(IoTest, NoCompactionKeepsIds) {
+  std::istringstream in("0 5\n");
+  Graph g = ReadEdgeList(in, /*compact_ids=*/false);
+  EXPECT_EQ(g.num_nodes(), 6u);
+  EXPECT_TRUE(g.HasEdge(0, 5));
+}
+
+TEST(IoTest, DuplicateLinesCollapse) {
+  std::istringstream in("0 1\n1 0\n0 1\n");
+  Graph g = ReadEdgeList(in);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(IoTest, MalformedLineThrows) {
+  std::istringstream in("0 not-a-number\n");
+  EXPECT_THROW(ReadEdgeList(in), std::runtime_error);
+}
+
+TEST(IoTest, DirectedMutualConversion) {
+  // The paper's conversion: keep only edges present in both directions.
+  std::istringstream in("0 1\n1 0\n1 2\n2 0\n0 2\n");
+  Graph g = ReadDirectedAsMutual(in);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_FALSE(g.HasEdge(1, 2));
+}
+
+TEST(IoTest, RoundTrip) {
+  Rng rng(5);
+  Graph g = ErdosRenyi(30, 0.2, rng);
+  std::ostringstream out;
+  WriteEdgeList(g, out);
+  std::istringstream in(out.str());
+  Graph h = ReadEdgeList(in, /*compact_ids=*/false);
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  for (const Edge& e : g.Edges()) EXPECT_TRUE(h.HasEdge(e.u, e.v));
+}
+
+TEST(IoTest, FileRoundTrip) {
+  Graph g = Barbell(4);
+  const std::string path = testing::TempDir() + "/mto_io_test_edges.txt";
+  WriteEdgeListFile(g, path);
+  Graph h = ReadEdgeListFile(path, /*compact_ids=*/false);
+  EXPECT_EQ(h.num_nodes(), g.num_nodes());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+}
+
+TEST(IoTest, MissingFileThrows) {
+  EXPECT_THROW(ReadEdgeListFile("/nonexistent/path/file.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mto

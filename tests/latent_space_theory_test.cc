@@ -1,0 +1,108 @@
+#include "src/experiments/latent_space_theory.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/graph/builder.h"
+#include "src/graph/graph_stats.h"
+#include "src/spectral/eigen.h"
+#include "src/spectral/mixing.h"
+#include "src/util/rng.h"
+
+namespace mto {
+namespace {
+
+TEST(ThresholdTest, Eq24Constant) {
+  EXPECT_NEAR(RemovableDistanceThreshold(0.7, 2, true),
+              std::sqrt(0.75) * 0.7, 1e-12);
+}
+
+TEST(ThresholdTest, TheoremFormVariant) {
+  double d0 = RemovableDistanceThreshold(1.0, 2, false);
+  EXPECT_NEAR(d0, 2.0 * (1.0 - std::sqrt(1.0 / 3.0)), 1e-12);
+  // The two variants agree within a few percent in 2D.
+  EXPECT_NEAR(RemovableDistanceThreshold(0.7, 2, false),
+              RemovableDistanceThreshold(0.7, 2, true), 0.03);
+}
+
+TEST(ThresholdTest, InvalidArgsThrow) {
+  EXPECT_THROW(RemovableDistanceThreshold(0.0, 2), std::invalid_argument);
+  EXPECT_THROW(RemovableDistanceThreshold(1.0, 0), std::invalid_argument);
+}
+
+TEST(PairDistanceCdfTest, ZeroAndFullRange) {
+  EXPECT_DOUBLE_EQ(PairDistanceCdf(0.0, 4.0, 5.0), 0.0);
+  // d0 >= diagonal: probability 1.
+  EXPECT_NEAR(PairDistanceCdf(10.0, 4.0, 5.0), 1.0, 1e-9);
+}
+
+TEST(PairDistanceCdfTest, MatchesMonteCarlo) {
+  const double a = 4.0, b = 5.0, d0 = 0.6;
+  Rng rng(1);
+  int hits = 0;
+  const int kTrials = 400000;
+  for (int i = 0; i < kTrials; ++i) {
+    double dx = rng.UniformDouble(0, a) - rng.UniformDouble(0, a);
+    double dy = rng.UniformDouble(0, b) - rng.UniformDouble(0, b);
+    if (dx * dx + dy * dy <= d0 * d0) ++hits;
+  }
+  double mc = static_cast<double>(hits) / kTrials;
+  EXPECT_NEAR(PairDistanceCdf(d0, a, b), mc, 0.002);
+}
+
+TEST(PairDistanceCdfTest, MonotoneInD0) {
+  EXPECT_LT(PairDistanceCdf(0.3, 4, 5), PairDistanceCdf(0.6, 4, 5));
+  EXPECT_LT(PairDistanceCdf(0.6, 4, 5), PairDistanceCdf(1.2, 4, 5));
+}
+
+TEST(PairDistanceCdfTest, BadBoxThrows) {
+  EXPECT_THROW(PairDistanceCdf(0.5, 0.0, 1.0), std::invalid_argument);
+}
+
+TEST(ExpectedRemovableFractionTest, InUnitInterval) {
+  LatentSpaceParams params{.n = 100, .a = 4, .b = 5, .r = 0.7};
+  double f = ExpectedRemovableFraction(params);
+  EXPECT_GT(f, 0.0);
+  EXPECT_LT(f, 1.0);
+}
+
+TEST(ConductanceGainFactorTest, PaperEq13Value) {
+  // eq. (13): with r = 0.7, a = 4, b = 5, D = 2, E[Φ(G*)] >= 1.05 Φ(G)
+  // (the paper prints 1.052).
+  LatentSpaceParams params{.n = 20000, .a = 4, .b = 5, .r = 0.7};
+  double factor = ConductanceGainFactor(params);
+  EXPECT_NEAR(factor, 1.052, 0.01);
+  EXPECT_GT(factor, 1.0);
+}
+
+TEST(ConductanceGainFactorTest, GrowsWithRadius) {
+  LatentSpaceParams small{.n = 100, .a = 4, .b = 5, .r = 0.4};
+  LatentSpaceParams big{.n = 100, .a = 4, .b = 5, .r = 1.0};
+  EXPECT_LT(ConductanceGainFactor(small), ConductanceGainFactor(big));
+}
+
+TEST(TheoreticalMixingTest, BelowOriginalMixingTime) {
+  // The bound predicts the overlay mixes faster than the original chain.
+  LatentSpaceParams params{.n = 100, .a = 4, .b = 5, .r = 0.7};
+  Rng rng(3);
+  LatentSpaceGraph lsg = LatentSpace(
+      LatentSpaceParams{.n = 90, .a = 4, .b = 5, .r = 0.9,
+                        .alpha = std::numeric_limits<double>::infinity()},
+      rng);
+  Graph g = LargestComponent(lsg.graph);
+  if (g.num_edges() == 0) GTEST_SKIP();
+  double mu = Slem(g, {.laziness = 0.5});
+  double original = MixingTimeFromSlem(mu);
+  double bound = TheoreticalOverlayMixingTime(mu, params);
+  EXPECT_LT(bound, original);
+  EXPECT_GT(bound, 0.0);
+}
+
+TEST(TheoreticalMixingTest, DisconnectedStaysInfinite) {
+  LatentSpaceParams params{.n = 100, .a = 4, .b = 5, .r = 0.7};
+  EXPECT_TRUE(std::isinf(TheoreticalOverlayMixingTime(1.0, params)));
+}
+
+}  // namespace
+}  // namespace mto

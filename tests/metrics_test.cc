@@ -1,0 +1,94 @@
+#include "src/estimate/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace mto {
+namespace {
+
+const std::vector<double> kUniform4{0.25, 0.25, 0.25, 0.25};
+const std::vector<double> kSkewed4{0.7, 0.1, 0.1, 0.1};
+
+TEST(KlDivergenceTest, ZeroForIdentical) {
+  EXPECT_DOUBLE_EQ(KlDivergence(kUniform4, kUniform4), 0.0);
+  EXPECT_DOUBLE_EQ(KlDivergence(kSkewed4, kSkewed4), 0.0);
+}
+
+TEST(KlDivergenceTest, PositiveForDifferent) {
+  EXPECT_GT(KlDivergence(kSkewed4, kUniform4), 0.0);
+  EXPECT_GT(KlDivergence(kUniform4, kSkewed4), 0.0);
+}
+
+TEST(KlDivergenceTest, KnownValue) {
+  // D([1,0] || [0.5,0.5]) = log 2.
+  std::vector<double> p{1.0, 0.0};
+  std::vector<double> q{0.5, 0.5};
+  EXPECT_NEAR(KlDivergence(p, q), std::log(2.0), 1e-12);
+}
+
+TEST(KlDivergenceTest, ZeroInPIsFine) {
+  std::vector<double> p{0.0, 1.0};
+  std::vector<double> q{0.5, 0.5};
+  EXPECT_NEAR(KlDivergence(p, q), std::log(2.0), 1e-12);
+}
+
+TEST(KlDivergenceTest, ZeroInQWherePPositiveThrows) {
+  std::vector<double> p{0.5, 0.5};
+  std::vector<double> q{1.0, 0.0};
+  EXPECT_THROW(KlDivergence(p, q), std::invalid_argument);
+}
+
+TEST(KlDivergenceTest, LengthMismatchThrows) {
+  std::vector<double> p{1.0};
+  EXPECT_THROW(KlDivergence(p, kUniform4), std::invalid_argument);
+  EXPECT_THROW(KlDivergence({}, {}), std::invalid_argument);
+}
+
+TEST(SymmetrizedKlTest, SymmetricAndNonNegative) {
+  EXPECT_DOUBLE_EQ(SymmetrizedKl(kUniform4, kSkewed4),
+                   SymmetrizedKl(kSkewed4, kUniform4));
+  EXPECT_GT(SymmetrizedKl(kUniform4, kSkewed4), 0.0);
+  EXPECT_DOUBLE_EQ(SymmetrizedKl(kUniform4, kUniform4), 0.0);
+}
+
+TEST(KsDistanceTest, Basics) {
+  EXPECT_DOUBLE_EQ(KsDistance(kUniform4, kUniform4), 0.0);
+  std::vector<double> point_mass_first{1.0, 0.0};
+  std::vector<double> point_mass_last{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(KsDistance(point_mass_first, point_mass_last), 1.0);
+}
+
+TEST(KsDistanceTest, KnownIntermediateValue) {
+  std::vector<double> p{0.5, 0.5, 0.0};
+  std::vector<double> q{0.0, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(KsDistance(p, q), 0.5);
+}
+
+TEST(TotalVariationTest, Basics) {
+  EXPECT_DOUBLE_EQ(TotalVariation(kUniform4, kUniform4), 0.0);
+  EXPECT_NEAR(TotalVariation(kUniform4, kSkewed4), 0.45, 1e-12);
+  std::vector<double> a{1.0, 0.0};
+  std::vector<double> b{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(TotalVariation(a, b), 1.0);  // max possible
+}
+
+TEST(L2DistanceTest, Basics) {
+  EXPECT_DOUBLE_EQ(L2Distance(kUniform4, kUniform4), 0.0);
+  std::vector<double> a{1.0, 0.0};
+  std::vector<double> b{0.0, 1.0};
+  EXPECT_NEAR(L2Distance(a, b), std::sqrt(2.0), 1e-12);
+}
+
+TEST(NrmseTest, Basics) {
+  std::vector<double> est{11.0, 9.0};
+  EXPECT_DOUBLE_EQ(Nrmse(est, 10.0), 0.1);
+  std::vector<double> exact{5.0, 5.0};
+  EXPECT_DOUBLE_EQ(Nrmse(exact, 5.0), 0.0);
+  EXPECT_THROW(Nrmse({}, 1.0), std::invalid_argument);
+  EXPECT_THROW(Nrmse(est, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mto

@@ -1,0 +1,86 @@
+#include "src/spectral/mixing.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mto {
+namespace {
+
+TEST(MixingFromSlemTest, Basics) {
+  EXPECT_TRUE(std::isinf(MixingTimeFromSlem(1.0)));
+  EXPECT_TRUE(std::isinf(MixingTimeFromSlem(1.5)));
+  EXPECT_DOUBLE_EQ(MixingTimeFromSlem(0.0), 0.0);
+  EXPECT_NEAR(MixingTimeFromSlem(std::exp(-1.0)), 1.0, 1e-12);
+}
+
+TEST(MixingFromSlemTest, MonotoneInSlem) {
+  EXPECT_LT(MixingTimeFromSlem(0.5), MixingTimeFromSlem(0.9));
+  EXPECT_LT(MixingTimeFromSlem(0.9), MixingTimeFromSlem(0.99));
+}
+
+TEST(UpperBoundCoefficientTest, PaperIntroductionNumbers) {
+  // Section II-D: "increasing conductance from 0.010 to 0.012 will change
+  // the mixing time from 46050.5·log(c/ε) to 31979.1·log(c/ε)".
+  EXPECT_NEAR(MixingTimeUpperBoundCoefficient(0.010), 46050.5, 1.0);
+  EXPECT_NEAR(MixingTimeUpperBoundCoefficient(0.012), 31979.1, 1.0);
+}
+
+TEST(UpperBoundCoefficientTest, RunningExampleNumbers) {
+  // Barbell: Φ = 0.018 -> 14212.3; post-removal 0.053 -> ~1638;
+  // post-replacement 0.105 -> ~417 (paper quotes 1638.3 and 416.6).
+  EXPECT_NEAR(MixingTimeUpperBoundCoefficient(0.018), 14212.3, 5.0);
+  EXPECT_NEAR(MixingTimeUpperBoundCoefficient(0.053), 1638.3, 5.0);
+  EXPECT_NEAR(MixingTimeUpperBoundCoefficient(0.105), 416.6, 2.0);
+}
+
+TEST(UpperBoundCoefficientTest, ReductionRatiosFromPaper) {
+  // Removal: 1638.3/14212.3 ≈ 0.115 (89% reduction); overall
+  // 416.6/14212.3 ≈ 0.029 (97% reduction).
+  double base = MixingTimeUpperBoundCoefficient(0.018);
+  double removal = MixingTimeUpperBoundCoefficient(0.053);
+  double both = MixingTimeUpperBoundCoefficient(0.105);
+  EXPECT_NEAR(removal / base, 0.115, 0.005);
+  EXPECT_NEAR(both / base, 0.029, 0.005);
+}
+
+TEST(UpperBoundCoefficientTest, InvalidPhiThrows) {
+  EXPECT_THROW(MixingTimeUpperBoundCoefficient(0.0), std::invalid_argument);
+  EXPECT_THROW(MixingTimeUpperBoundCoefficient(-0.1), std::invalid_argument);
+  EXPECT_THROW(MixingTimeUpperBoundCoefficient(1.1), std::invalid_argument);
+}
+
+TEST(UpperBoundTest, BarbellRunningExampleFull) {
+  // Paper: "bounded from above by 14212.3 · log(22.2/ε)" with
+  // c = 2·111/10 = 22.2 for the barbell.
+  double t = MixingTimeUpperBound(0.018, 0.01, 111, 10);
+  EXPECT_NEAR(t, 14212.3 * std::log10(22.2 / 0.01), 30.0);
+}
+
+TEST(UpperBoundTest, InvalidArgsThrow) {
+  EXPECT_THROW(MixingTimeUpperBound(0.1, 0.0, 100, 2), std::invalid_argument);
+  EXPECT_THROW(MixingTimeUpperBound(0.1, 1000.0, 100, 2),
+               std::invalid_argument);
+  EXPECT_THROW(MixingTimeUpperBound(0.1, 0.01, 100, 0), std::invalid_argument);
+}
+
+TEST(DistanceBoundsTest, LowerBoundKernel) {
+  EXPECT_DOUBLE_EQ(RelativeDistanceLowerBound(0.25, 2.0), 0.25);  // 0.5^2
+  EXPECT_DOUBLE_EQ(RelativeDistanceLowerBound(0.5, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeDistanceLowerBound(0.6, 3.0), 0.0);  // clamped
+}
+
+TEST(DistanceBoundsTest, UpperBoundKernelDecaysWithT) {
+  double d1 = RelativeDistanceUpperBound(0.1, 10.0, 100, 2);
+  double d2 = RelativeDistanceUpperBound(0.1, 100.0, 100, 2);
+  EXPECT_LT(d2, d1);
+  EXPECT_THROW(RelativeDistanceUpperBound(0.1, 1.0, 100, 0),
+               std::invalid_argument);
+}
+
+TEST(DistanceBoundsTest, UpperBoundAtTZeroIsC) {
+  EXPECT_DOUBLE_EQ(RelativeDistanceUpperBound(0.3, 0.0, 111, 10), 22.2);
+}
+
+}  // namespace
+}  // namespace mto

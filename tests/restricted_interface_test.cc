@@ -1,0 +1,93 @@
+#include "src/net/restricted_interface.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+
+namespace mto {
+namespace {
+
+class RestrictedInterfaceTest : public testing::Test {
+ protected:
+  RestrictedInterfaceTest() : net_(Barbell(4)), iface_(net_) {}
+  SocialNetwork net_;
+  RestrictedInterface iface_;
+};
+
+TEST_F(RestrictedInterfaceTest, QueryReturnsNeighbors) {
+  auto r = iface_.Query(0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->user, 0u);
+  EXPECT_EQ(r->degree(), net_.graph().Degree(0));
+  for (NodeId v : r->neighbors) EXPECT_TRUE(net_.graph().HasEdge(0, v));
+}
+
+TEST_F(RestrictedInterfaceTest, UniqueQueryCostOnly) {
+  iface_.Query(0);
+  iface_.Query(0);
+  iface_.Query(0);
+  EXPECT_EQ(iface_.QueryCost(), 1u);
+  EXPECT_EQ(iface_.TotalRequests(), 3u);
+  iface_.Query(1);
+  EXPECT_EQ(iface_.QueryCost(), 2u);
+}
+
+TEST_F(RestrictedInterfaceTest, CachedDegreeOnlyAfterQuery) {
+  EXPECT_FALSE(iface_.CachedDegree(2).has_value());
+  iface_.Query(2);
+  ASSERT_TRUE(iface_.CachedDegree(2).has_value());
+  EXPECT_EQ(*iface_.CachedDegree(2), net_.graph().Degree(2));
+}
+
+TEST_F(RestrictedInterfaceTest, IsCachedTracksQueries) {
+  EXPECT_FALSE(iface_.IsCached(3));
+  iface_.Query(3);
+  EXPECT_TRUE(iface_.IsCached(3));
+}
+
+TEST_F(RestrictedInterfaceTest, BudgetBlocksNewQueriesOnly) {
+  iface_.SetBudget(2);
+  EXPECT_TRUE(iface_.Query(0).has_value());
+  EXPECT_TRUE(iface_.Query(1).has_value());
+  EXPECT_FALSE(iface_.Query(2).has_value());   // budget exhausted
+  EXPECT_TRUE(iface_.Query(0).has_value());    // cache hit still answers
+  EXPECT_EQ(iface_.QueryCost(), 2u);
+}
+
+TEST_F(RestrictedInterfaceTest, UnknownUserThrows) {
+  EXPECT_THROW(iface_.Query(100), std::invalid_argument);
+}
+
+TEST_F(RestrictedInterfaceTest, RandomUserCostsOneQuery) {
+  Rng rng(5);
+  auto r = iface_.RandomUser(rng);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_LT(r->user, net_.num_users());
+  EXPECT_EQ(iface_.QueryCost(), 1u);
+}
+
+TEST_F(RestrictedInterfaceTest, ResetClearsState) {
+  iface_.Query(0);
+  iface_.Query(1);
+  iface_.Reset();
+  EXPECT_EQ(iface_.QueryCost(), 0u);
+  EXPECT_EQ(iface_.TotalRequests(), 0u);
+  EXPECT_FALSE(iface_.IsCached(0));
+}
+
+TEST_F(RestrictedInterfaceTest, NumUsersPublic) {
+  EXPECT_EQ(iface_.num_users(), 8u);
+}
+
+TEST(RestrictedInterfaceProfileTest, ProfileSurfacedThroughQuery) {
+  std::vector<UserProfile> profiles(3);
+  profiles[2].description_length = 123;
+  SocialNetwork net(Path(3), profiles);
+  RestrictedInterface iface(net);
+  auto r = iface.Query(2);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->profile.description_length, 123u);
+}
+
+}  // namespace
+}  // namespace mto

@@ -1,0 +1,75 @@
+#include "src/estimate/sampling_distribution.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+
+namespace mto {
+namespace {
+
+TEST(EmpiricalDistributionTest, RecordAndProbabilities) {
+  EmpiricalDistribution dist(4);
+  dist.Record(0);
+  dist.Record(0);
+  dist.Record(2);
+  dist.Record(3);
+  EXPECT_EQ(dist.total(), 4u);
+  EXPECT_EQ(dist.support(), 3u);
+  auto p = dist.Probabilities();
+  EXPECT_DOUBLE_EQ(p[0], 0.5);
+  EXPECT_DOUBLE_EQ(p[1], 0.0);
+  EXPECT_DOUBLE_EQ(p[2], 0.25);
+}
+
+TEST(EmpiricalDistributionTest, ProbabilitiesSumToOne) {
+  EmpiricalDistribution dist(10);
+  for (NodeId v = 0; v < 10; ++v) {
+    for (NodeId k = 0; k <= v; ++k) dist.Record(v);
+  }
+  for (double eps : {0.0, 0.5, 2.0}) {
+    auto p = dist.Probabilities(eps);
+    double sum = 0.0;
+    for (double x : p) sum += x;
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "eps " << eps;
+  }
+}
+
+TEST(EmpiricalDistributionTest, SmoothingFillsZeros) {
+  EmpiricalDistribution dist(3);
+  dist.Record(0);
+  auto p = dist.Probabilities(1.0);
+  EXPECT_GT(p[1], 0.0);
+  EXPECT_GT(p[0], p[1]);
+}
+
+TEST(EmpiricalDistributionTest, OutOfRangeThrows) {
+  EmpiricalDistribution dist(3);
+  EXPECT_THROW(dist.Record(3), std::invalid_argument);
+}
+
+TEST(EmpiricalDistributionTest, EmptyUnsmoothedThrows) {
+  EmpiricalDistribution dist(3);
+  EXPECT_THROW(dist.Probabilities(), std::logic_error);
+  EXPECT_NO_THROW(dist.Probabilities(0.1));
+}
+
+TEST(IdealDegreeDistributionTest, ProportionalToDegree) {
+  Graph g = Star(5);  // hub degree 4, spokes 1, total 8
+  auto p = IdealDegreeDistribution(g);
+  EXPECT_DOUBLE_EQ(p[0], 0.5);
+  for (NodeId v = 1; v < 5; ++v) EXPECT_DOUBLE_EQ(p[v], 0.125);
+}
+
+TEST(IdealDegreeDistributionTest, EmptyGraphThrows) {
+  EXPECT_THROW(IdealDegreeDistribution(Graph(3, {})), std::invalid_argument);
+}
+
+TEST(UniformDistributionTest, Basics) {
+  auto p = UniformDistribution(8);
+  ASSERT_EQ(p.size(), 8u);
+  for (double x : p) EXPECT_DOUBLE_EQ(x, 0.125);
+  EXPECT_THROW(UniformDistribution(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mto

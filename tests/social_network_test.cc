@@ -1,0 +1,88 @@
+#include "src/net/social_network.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+
+namespace mto {
+namespace {
+
+TEST(SocialNetworkTest, DefaultProfilesAreZero) {
+  SocialNetwork net(Cycle(4));
+  EXPECT_EQ(net.num_users(), 4u);
+  EXPECT_EQ(net.profile(0).description_length, 0u);
+  EXPECT_EQ(net.profile(3).age, 0u);
+}
+
+TEST(SocialNetworkTest, ProfileCountMismatchThrows) {
+  std::vector<UserProfile> profiles(3);
+  EXPECT_THROW(SocialNetwork(Cycle(4), profiles), std::invalid_argument);
+}
+
+TEST(SocialNetworkTest, ExplicitProfilesStored) {
+  std::vector<UserProfile> profiles(3);
+  profiles[1].age = 42;
+  SocialNetwork net(Path(3), profiles);
+  EXPECT_EQ(net.profile(1).age, 42u);
+}
+
+TEST(SocialNetworkTest, SyntheticProfilesDeterministic) {
+  Rng rng(1);
+  Graph g = BarabasiAlbert(200, 3, rng);
+  SocialNetwork a = SocialNetwork::WithSyntheticProfiles(g, 99);
+  Rng rng2(1);
+  Graph g2 = BarabasiAlbert(200, 3, rng2);
+  SocialNetwork b = SocialNetwork::WithSyntheticProfiles(g2, 99);
+  for (NodeId v = 0; v < 200; ++v) {
+    EXPECT_EQ(a.profile(v).description_length, b.profile(v).description_length);
+    EXPECT_EQ(a.profile(v).age, b.profile(v).age);
+  }
+}
+
+TEST(SocialNetworkTest, SyntheticAgesInRange) {
+  Rng rng(2);
+  SocialNetwork net =
+      SocialNetwork::WithSyntheticProfiles(BarabasiAlbert(500, 2, rng), 7);
+  for (NodeId v = 0; v < 500; ++v) {
+    EXPECT_GE(net.profile(v).age, 16u);
+    EXPECT_LT(net.profile(v).age, 80u);
+  }
+}
+
+TEST(SocialNetworkTest, TrueAverages) {
+  SocialNetwork net(Complete(5));
+  EXPECT_DOUBLE_EQ(net.TrueAverageDegree(), 4.0);
+  std::vector<UserProfile> profiles(3);
+  profiles[0].description_length = 10;
+  profiles[1].description_length = 20;
+  profiles[2].description_length = 30;
+  profiles[0].age = 20;
+  profiles[1].age = 30;
+  profiles[2].age = 40;
+  SocialNetwork net2(Path(3), profiles);
+  EXPECT_DOUBLE_EQ(net2.TrueAverageDescriptionLength(), 20.0);
+  EXPECT_DOUBLE_EQ(net2.TrueAverageAge(), 30.0);
+}
+
+TEST(SocialNetworkTest, DescriptionLengthCorrelatesWithDegree) {
+  Rng rng(3);
+  Graph g = BarabasiAlbert(3000, 3, rng);
+  SocialNetwork net = SocialNetwork::WithSyntheticProfiles(std::move(g), 11);
+  // Mean description length among top-degree decile should exceed the
+  // bottom decile (the synthetic attribute is degree-correlated).
+  std::vector<NodeId> by_degree(net.num_users());
+  for (NodeId v = 0; v < net.num_users(); ++v) by_degree[v] = v;
+  std::sort(by_degree.begin(), by_degree.end(), [&](NodeId a, NodeId b) {
+    return net.graph().Degree(a) < net.graph().Degree(b);
+  });
+  double low = 0, high = 0;
+  const size_t decile = net.num_users() / 10;
+  for (size_t i = 0; i < decile; ++i) {
+    low += net.profile(by_degree[i]).description_length;
+    high += net.profile(by_degree[net.num_users() - 1 - i]).description_length;
+  }
+  EXPECT_GT(high, low);
+}
+
+}  // namespace
+}  // namespace mto

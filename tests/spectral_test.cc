@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/graph/builder.h"
+#include "src/graph/generators.h"
+#include "src/spectral/eigen.h"
+#include "src/spectral/transition.h"
+
+namespace mto {
+namespace {
+
+TEST(StationaryDistributionTest, ProportionalToDegree) {
+  Graph g = Star(5);
+  auto pi = StationaryDistribution(g);
+  EXPECT_DOUBLE_EQ(pi[0], 0.5);
+  EXPECT_DOUBLE_EQ(pi[1], 0.125);
+  double sum = 0.0;
+  for (double x : pi) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(StationaryDistributionTest, NoEdgesThrows) {
+  EXPECT_THROW(StationaryDistribution(Graph(3, {})), std::invalid_argument);
+}
+
+TEST(TransitionOperatorTest, ApplyLeftPreservesMass) {
+  Rng rng(1);
+  Graph g = ErdosRenyiM(40, 120, rng);
+  TransitionOperator op(g);
+  std::vector<double> x(40, 1.0 / 40.0), y;
+  op.ApplyLeft(x, y);
+  double sum = 0.0;
+  for (double v : y) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(TransitionOperatorTest, StationaryIsFixedPoint) {
+  Graph g = Barbell(4);
+  TransitionOperator op(g);
+  auto pi = StationaryDistribution(g);
+  std::vector<double> y;
+  op.ApplyLeft(pi, y);
+  for (size_t i = 0; i < pi.size(); ++i) EXPECT_NEAR(y[i], pi[i], 1e-12);
+}
+
+TEST(TransitionOperatorTest, LazyChainHalvesMovement) {
+  Graph g = Path(3);
+  TransitionOperator lazy(g, 0.5);
+  std::vector<double> x{1.0, 0.0, 0.0}, y;
+  lazy.ApplyLeft(x, y);
+  EXPECT_NEAR(y[0], 0.5, 1e-12);
+  EXPECT_NEAR(y[1], 0.5, 1e-12);
+}
+
+TEST(TransitionOperatorTest, SymmetricOperatorTopEigenvector) {
+  Graph g = Barbell(5);
+  TransitionOperator op(g);
+  auto phi = op.TopSymmetricEigenvector();
+  std::vector<double> y;
+  op.ApplySymmetric(phi, y);
+  for (size_t i = 0; i < phi.size(); ++i) EXPECT_NEAR(y[i], phi[i], 1e-10);
+  double norm = 0.0;
+  for (double v : phi) norm += v * v;
+  EXPECT_NEAR(norm, 1.0, 1e-12);
+}
+
+TEST(TransitionOperatorTest, IsolatedNodeSelfLoop) {
+  GraphBuilder b;
+  b.ReserveNodes(3);
+  b.AddEdge(0, 1);
+  Graph g = b.Build();  // the operator aliases the graph; keep it alive
+  TransitionOperator op(g);
+  std::vector<double> x{0.0, 0.0, 1.0}, y;
+  op.ApplyLeft(x, y);
+  EXPECT_DOUBLE_EQ(y[2], 1.0);  // stays put
+}
+
+TEST(TransitionOperatorTest, BadLazinessThrows) {
+  Graph g = Cycle(3);
+  EXPECT_THROW(TransitionOperator(g, 1.0), std::invalid_argument);
+  EXPECT_THROW(TransitionOperator(g, -0.1), std::invalid_argument);
+}
+
+TEST(SlemTest, CompleteGraphKnownValue) {
+  // K_n SRW eigenvalues: 1 and -1/(n-1); SLEM = 1/(n-1).
+  for (NodeId n : {4u, 6u, 10u}) {
+    double mu = Slem(Complete(n));
+    EXPECT_NEAR(mu, 1.0 / (n - 1.0), 1e-8) << "K_" << n;
+  }
+}
+
+TEST(SlemTest, CycleKnownValue) {
+  // Cycle eigenvalues cos(2πk/n); the largest *modulus* among them for C5
+  // is |cos(4π/5)| = cos(π/5). SLEM of an even cycle = 1 (bipartite, -1).
+  double mu5 = Slem(Cycle(5));
+  EXPECT_NEAR(mu5, std::cos(M_PI / 5.0), 1e-8);
+  double mu6 = Slem(Cycle(6));
+  EXPECT_NEAR(mu6, 1.0, 1e-6);  // periodic chain never mixes
+}
+
+TEST(SlemTest, DisconnectedGraphIsOne) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  b.AddEdge(3, 4);
+  b.AddEdge(4, 5);
+  b.AddEdge(3, 5);
+  double mu = Slem(b.Build());
+  EXPECT_NEAR(mu, 1.0, 1e-6);
+}
+
+TEST(SlemTest, LazyChainShiftsSpectrum) {
+  // Lazy even cycle: eigenvalues (1+cos)/2 >= 0; SLEM < 1 now.
+  double mu = Slem(Cycle(6), {.laziness = 0.5});
+  EXPECT_NEAR(mu, (1.0 + std::cos(2.0 * M_PI / 6.0)) / 2.0, 1e-8);
+}
+
+TEST(SlemTest, BarbellNearOne) {
+  // The barbell is the canonical slow-mixing graph: SLEM close to 1.
+  double mu = Slem(Barbell(11));
+  EXPECT_GT(mu, 0.95);
+  EXPECT_LT(mu, 1.0);
+}
+
+TEST(SlemTest, StarGraphBipartite) {
+  // Star is bipartite: eigenvalue -1 present, SLEM = 1.
+  EXPECT_NEAR(Slem(Star(6)), 1.0, 1e-6);
+  // Lazy star: spectrum {1, 1/2 (multiplicity n-2), 0}; SLEM = 1/2.
+  EXPECT_NEAR(Slem(Star(6), {.laziness = 0.5}), 0.5, 1e-8);
+}
+
+TEST(SlemTest, NoEdgesThrows) {
+  EXPECT_THROW(Slem(Graph(3, {})), std::invalid_argument);
+}
+
+TEST(SpectralGapTest, ComplementOfSlem) {
+  Graph g = Complete(5);
+  EXPECT_NEAR(SpectralGap(g), 1.0 - 0.25, 1e-8);
+}
+
+TEST(SlemTest, DeterministicAcrossCalls) {
+  Rng rng(2);
+  Graph g = ErdosRenyiM(60, 200, rng);
+  EXPECT_DOUBLE_EQ(Slem(g), Slem(g));
+}
+
+}  // namespace
+}  // namespace mto

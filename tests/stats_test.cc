@@ -1,0 +1,142 @@
+#include "src/util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mto {
+namespace {
+
+TEST(RunningStatsTest, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.Max(), 3.5);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(s.StdDev(), 2.0);
+  EXPECT_NEAR(s.SampleVariance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStatsTest, MinMaxTracking) {
+  RunningStats s;
+  for (double x : {5.0, -2.0, 9.0, 0.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.Min(), -2.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesCombined) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    double x = std::sin(i) * 10;
+    (i % 2 == 0 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.Mean(), all.Mean(), 1e-12);
+  EXPECT_NEAR(a.Variance(), all.Variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.Min(), all.Min());
+  EXPECT_DOUBLE_EQ(a.Max(), all.Max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.Add(1.0);
+  a.Add(2.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  RunningStats b;
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.Mean(), 1.5);
+}
+
+TEST(VectorStatsTest, MeanAndVariance) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(Variance(xs), 1.25);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({1.0}), 0.0);
+}
+
+TEST(QuantileTest, MedianAndExtremes) {
+  std::vector<double> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 5.0);
+}
+
+TEST(QuantileTest, Interpolates) {
+  std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.9), 9.0);
+}
+
+TEST(QuantileTest, EmptyThrows) {
+  EXPECT_THROW(Quantile({}, 0.5), std::invalid_argument);
+}
+
+TEST(HistogramTest, BasicBinning) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(0.0);
+  h.Add(1.9);
+  h.Add(2.0);
+  h.Add(9.99);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.BinCount(0), 2u);
+  EXPECT_EQ(h.BinCount(1), 1u);
+  EXPECT_EQ(h.BinCount(4), 1u);
+}
+
+TEST(HistogramTest, OverUnderflow) {
+  Histogram h(0.0, 1.0, 2);
+  h.Add(-0.5);
+  h.Add(1.0);  // hi is exclusive
+  h.Add(2.0);
+  EXPECT_EQ(h.Underflow(), 1u);
+  EXPECT_EQ(h.Overflow(), 2u);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(HistogramTest, BinLowValues) {
+  Histogram h(10.0, 20.0, 4);
+  EXPECT_DOUBLE_EQ(h.BinLow(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.BinLow(2), 15.0);
+  EXPECT_EQ(h.bins(), 4u);
+}
+
+TEST(HistogramTest, InvalidArgsThrow) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 3), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(CounterTest, AddAndTotal) {
+  Counter c;
+  c.Add(5);
+  c.Add(5, 2);
+  c.Add(7);
+  EXPECT_EQ(c.Get(5), 3u);
+  EXPECT_EQ(c.Get(7), 1u);
+  EXPECT_EQ(c.Get(9), 0u);
+  EXPECT_EQ(c.Total(), 4u);
+  EXPECT_EQ(c.DistinctKeys(), 2u);
+}
+
+}  // namespace
+}  // namespace mto

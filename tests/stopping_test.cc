@@ -1,0 +1,91 @@
+#include "src/mcmc/stopping.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace mto {
+namespace {
+
+TEST(FixedLengthRuleTest, StopsExactlyAtLength) {
+  FixedLengthRule rule(5);
+  for (int i = 0; i < 4; ++i) {
+    rule.Observe(0.0);
+    EXPECT_FALSE(rule.ShouldStop());
+  }
+  rule.Observe(0.0);
+  EXPECT_TRUE(rule.ShouldStop());
+}
+
+TEST(FixedLengthRuleTest, ResetRestarts) {
+  FixedLengthRule rule(2);
+  rule.Observe(0.0);
+  rule.Observe(0.0);
+  ASSERT_TRUE(rule.ShouldStop());
+  rule.Reset();
+  EXPECT_FALSE(rule.ShouldStop());
+}
+
+TEST(FixedLengthRuleTest, ZeroLengthThrows) {
+  EXPECT_THROW(FixedLengthRule(0), std::invalid_argument);
+}
+
+TEST(GewekeRuleTest, StopsOnStationaryStream) {
+  GewekeRule rule(0.2, 100, 20);
+  Rng rng(1);
+  bool stopped = false;
+  for (int i = 0; i < 10000 && !stopped; ++i) {
+    rule.Observe(rng.Normal());
+    stopped = rule.ShouldStop();
+  }
+  EXPECT_TRUE(stopped);
+  EXPECT_GT(rule.monitor().length(), 99u);
+}
+
+TEST(GewekeRuleTest, DriftNeverStops) {
+  GewekeRule rule(0.05, 100, 20);
+  for (int i = 0; i < 3000; ++i) {
+    rule.Observe(static_cast<double>(i));
+  }
+  EXPECT_FALSE(rule.ShouldStop());
+}
+
+TEST(CappedGewekeRuleTest, CapFiresOnDrift) {
+  CappedGewekeRule rule(0.05, 500, 100, 20);
+  for (int i = 0; i < 499; ++i) {
+    rule.Observe(static_cast<double>(i));
+    EXPECT_FALSE(rule.ShouldStop());
+  }
+  rule.Observe(499.0);
+  EXPECT_TRUE(rule.ShouldStop());
+  EXPECT_TRUE(rule.StoppedByCap());
+}
+
+TEST(CappedGewekeRuleTest, ConvergenceBeatsCap) {
+  CappedGewekeRule rule(0.5, 100000, 50, 10);
+  Rng rng(2);
+  size_t steps = 0;
+  while (!rule.ShouldStop()) {
+    rule.Observe(rng.Normal());
+    ++steps;
+    ASSERT_LT(steps, 100000u);
+  }
+  EXPECT_FALSE(rule.StoppedByCap());
+}
+
+TEST(CappedGewekeRuleTest, ResetClearsCapFlag) {
+  CappedGewekeRule rule(0.01, 10, 5, 1);
+  for (int i = 0; i < 10; ++i) rule.Observe(static_cast<double>(i * i));
+  ASSERT_TRUE(rule.ShouldStop());
+  ASSERT_TRUE(rule.StoppedByCap());
+  rule.Reset();
+  EXPECT_FALSE(rule.ShouldStop());
+  EXPECT_FALSE(rule.StoppedByCap());
+}
+
+TEST(CappedGewekeRuleTest, ZeroCapThrows) {
+  EXPECT_THROW(CappedGewekeRule(0.1, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mto

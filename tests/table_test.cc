@@ -1,0 +1,74 @@
+#include "src/util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mto {
+namespace {
+
+TEST(TableTest, TextOutputAligned) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22"});
+  std::ostringstream os;
+  t.PrintText(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"a", "b"});
+  t.AddRow({"x", "y"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\nx,y\n");
+}
+
+TEST(TableTest, CsvQuoting) {
+  Table t({"a"});
+  t.AddRow({std::string("va,l\"ue")});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a\n\"va,l\"\"ue\"\n");
+}
+
+TEST(TableTest, NumericRowFormatting) {
+  Table t({"x", "y"});
+  t.AddNumericRow({1.23456, 2.0}, 2);
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "x,y\n1.23,2.00\n");
+}
+
+TEST(TableTest, ArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(TableTest, EmptyHeadersThrow) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), std::invalid_argument);
+}
+
+TEST(TableTest, RowCount) {
+  Table t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, NumHelper) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(2.0, 0), "2");
+}
+
+TEST(BannerTest, ContainsTitle) {
+  std::ostringstream os;
+  PrintBanner(os, "Fig 7");
+  EXPECT_NE(os.str().find("=== Fig 7 ==="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mto

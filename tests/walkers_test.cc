@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/estimate/sampling_distribution.h"
+#include "src/graph/builder.h"
+#include "src/graph/generators.h"
+#include "src/net/restricted_interface.h"
+#include "src/walk/mhrw.h"
+#include "src/walk/random_jump.h"
+#include "src/walk/srw.h"
+
+namespace mto {
+namespace {
+
+/// Runs `steps` walk steps and returns the visit distribution (post burn-in).
+std::vector<double> VisitDistribution(Sampler& sampler, size_t steps,
+                                      size_t burn_in, NodeId n) {
+  EmpiricalDistribution dist(n);
+  for (size_t i = 0; i < burn_in; ++i) sampler.Step();
+  for (size_t i = 0; i < steps; ++i) {
+    sampler.Step();
+    dist.Record(sampler.current());
+  }
+  return dist.Probabilities();
+}
+
+TEST(SrwTest, StaysOnGraph) {
+  SocialNetwork net(Barbell(4));
+  RestrictedInterface iface(net);
+  Rng rng(1);
+  SimpleRandomWalk walk(iface, rng, 0);
+  NodeId prev = walk.current();
+  for (int i = 0; i < 200; ++i) {
+    NodeId next = walk.Step();
+    EXPECT_TRUE(net.graph().HasEdge(prev, next));
+    prev = next;
+  }
+}
+
+TEST(SrwTest, ConvergesToDegreeDistribution) {
+  Graph g = Barbell(4);
+  SocialNetwork net(g);
+  RestrictedInterface iface(net);
+  Rng rng(2);
+  SimpleRandomWalk walk(iface, rng, 0);
+  auto p = VisitDistribution(walk, 400000, 1000, g.num_nodes());
+  auto ideal = IdealDegreeDistribution(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR(p[v], ideal[v], 0.01) << "node " << v;
+  }
+}
+
+TEST(SrwTest, QueryCostIsUniqueNodesVisited) {
+  SocialNetwork net(Cycle(10));
+  RestrictedInterface iface(net);
+  Rng rng(3);
+  SimpleRandomWalk walk(iface, rng, 0);
+  for (int i = 0; i < 500; ++i) walk.Step();
+  // On a 10-cycle, 500 steps visit every node; cost is at most 10.
+  EXPECT_LE(iface.QueryCost(), 10u);
+  EXPECT_GE(iface.QueryCost(), 3u);
+}
+
+TEST(SrwTest, ImportanceWeightIsInverseDegree) {
+  SocialNetwork net(Star(5));
+  RestrictedInterface iface(net);
+  Rng rng(4);
+  SimpleRandomWalk walk(iface, rng, 0);  // hub, degree 4
+  EXPECT_DOUBLE_EQ(walk.ImportanceWeight(), 0.25);
+  EXPECT_DOUBLE_EQ(walk.CurrentDegreeForDiagnostic(), 4.0);
+}
+
+TEST(SrwTest, IsolatedNodeIsAbsorbing) {
+  Graph g(3, {{1, 2}});  // node 0 isolated
+  SocialNetwork net(g);
+  RestrictedInterface iface(net);
+  Rng rng(5);
+  SimpleRandomWalk walk(iface, rng, 0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(walk.Step(), 0u);
+  EXPECT_DOUBLE_EQ(walk.ImportanceWeight(), 0.0);
+}
+
+TEST(SrwTest, InvalidStartThrows) {
+  SocialNetwork net(Cycle(3));
+  RestrictedInterface iface(net);
+  Rng rng(6);
+  EXPECT_THROW(SimpleRandomWalk(iface, rng, 10), std::invalid_argument);
+}
+
+TEST(SrwTest, BudgetFreezesWalk) {
+  SocialNetwork net(Complete(20));
+  RestrictedInterface iface(net);
+  iface.SetBudget(3);
+  Rng rng(7);
+  SimpleRandomWalk walk(iface, rng, 0);
+  for (int i = 0; i < 100; ++i) walk.Step();
+  EXPECT_EQ(iface.QueryCost(), 3u);
+}
+
+TEST(MhrwTest, ConvergesToUniform) {
+  // Star graph: SRW heavily favors the hub; MHRW must flatten it.
+  Graph g = Star(6);
+  SocialNetwork net(g);
+  RestrictedInterface iface(net);
+  Rng rng(8);
+  MetropolisHastingsWalk walk(iface, rng, 0);
+  auto p = VisitDistribution(walk, 300000, 1000, g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR(p[v], 1.0 / 6.0, 0.01) << "node " << v;
+  }
+}
+
+TEST(MhrwTest, UnitImportanceWeight) {
+  SocialNetwork net(Star(5));
+  RestrictedInterface iface(net);
+  Rng rng(9);
+  MetropolisHastingsWalk walk(iface, rng, 0);
+  EXPECT_DOUBLE_EQ(walk.ImportanceWeight(), 1.0);
+}
+
+TEST(MhrwTest, RejectionsStillCostQueries) {
+  // Hub of a star proposes spokes (k=1), always accepted; spoke proposes hub
+  // and accepts with 1/4. Either way both endpoints get queried.
+  SocialNetwork net(Star(5));
+  RestrictedInterface iface(net);
+  Rng rng(10);
+  MetropolisHastingsWalk walk(iface, rng, 0);
+  walk.Step();
+  EXPECT_GE(iface.QueryCost(), 2u);
+}
+
+TEST(MhrwTest, StepsStayOnEdgesOrCurrent) {
+  SocialNetwork net(Barbell(5));
+  RestrictedInterface iface(net);
+  Rng rng(11);
+  MetropolisHastingsWalk walk(iface, rng, 3);
+  NodeId prev = walk.current();
+  for (int i = 0; i < 300; ++i) {
+    NodeId next = walk.Step();
+    EXPECT_TRUE(next == prev || net.graph().HasEdge(prev, next));
+    prev = next;
+  }
+}
+
+TEST(RandomJumpTest, JumpProbabilityOneIsUniformIid) {
+  Graph g = Star(8);
+  SocialNetwork net(g);
+  RestrictedInterface iface(net);
+  Rng rng(12);
+  RandomJumpWalk walk(iface, rng, 0, 1.0);
+  auto p = VisitDistribution(walk, 200000, 10, g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR(p[v], 1.0 / 8.0, 0.01);
+  }
+}
+
+TEST(RandomJumpTest, JumpProbabilityZeroIsMhrw) {
+  SocialNetwork net(Cycle(6));
+  RestrictedInterface iface(net);
+  Rng rng(13);
+  RandomJumpWalk walk(iface, rng, 0, 0.0);
+  NodeId prev = walk.current();
+  for (int i = 0; i < 200; ++i) {
+    NodeId next = walk.Step();
+    EXPECT_TRUE(next == prev || net.graph().HasEdge(prev, next));
+    prev = next;
+  }
+}
+
+TEST(RandomJumpTest, CanEscapeComponents) {
+  // Disconnected graph: only jumps can cross components.
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 3);
+  SocialNetwork net(b.Build());
+  RestrictedInterface iface(net);
+  Rng rng(14);
+  RandomJumpWalk walk(iface, rng, 0, 0.5);
+  bool visited_other = false;
+  for (int i = 0; i < 500 && !visited_other; ++i) {
+    visited_other = walk.Step() >= 2;
+  }
+  EXPECT_TRUE(visited_other);
+}
+
+TEST(RandomJumpTest, BadJumpProbabilityThrows) {
+  SocialNetwork net(Cycle(3));
+  RestrictedInterface iface(net);
+  Rng rng(15);
+  EXPECT_THROW(RandomJumpWalk(iface, rng, 0, 1.5), std::invalid_argument);
+}
+
+TEST(SamplerBaseTest, TeleportMovesWalk) {
+  SocialNetwork net(Cycle(6));
+  RestrictedInterface iface(net);
+  Rng rng(16);
+  SimpleRandomWalk walk(iface, rng, 0);
+  walk.Step();
+  walk.Teleport(4);
+  EXPECT_EQ(walk.current(), 4u);
+}
+
+TEST(SamplerBaseTest, NamesMatchPaper) {
+  SocialNetwork net(Cycle(6));
+  RestrictedInterface iface(net);
+  Rng rng(17);
+  EXPECT_EQ(SimpleRandomWalk(iface, rng, 0).name(), "SRW");
+  EXPECT_EQ(MetropolisHastingsWalk(iface, rng, 0).name(), "MHRW");
+  EXPECT_EQ(RandomJumpWalk(iface, rng, 0).name(), "RJ");
+}
+
+}  // namespace
+}  // namespace mto
