@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_flags.h"
 #include "src/experiments/error_vs_cost.h"
 #include "src/graph/datasets.h"
 #include "src/util/table.h"
@@ -37,6 +38,7 @@ struct Variant {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (mto::bench::SmokeOrHelpExit(argc, argv, "bench_ablation_rules", "[--runs N]")) return 0;
   size_t runs = 8;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {

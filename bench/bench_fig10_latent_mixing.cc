@@ -12,6 +12,7 @@
 #include <cstring>
 #include <iostream>
 
+#include "bench/bench_flags.h"
 #include "src/core/full_overlay.h"
 #include "src/experiments/latent_space_theory.h"
 #include "src/graph/builder.h"
@@ -42,6 +43,7 @@ double OverlayMixing(const Graph& g, bool removal, bool replacement,
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (mto::bench::SmokeOrHelpExit(argc, argv, "bench_fig10_latent_mixing", "[--seeds N]")) return 0;
   size_t seeds = 24;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_flags.h"
 #include "src/experiments/error_vs_cost.h"
 #include "src/graph/datasets.h"
 #include "src/util/table.h"
@@ -88,6 +89,7 @@ void ErrorCurve(const SocialNetwork& net, Attribute attribute,
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (mto::bench::SmokeOrHelpExit(argc, argv, "bench_fig11_gplus", "[--runs N] [--small]")) return 0;
   size_t runs = 10;
   bool small = false;
   for (int i = 1; i < argc; ++i) {

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_flags.h"
 #include "src/experiments/error_vs_cost.h"
 #include "src/graph/datasets.h"
 #include "src/util/table.h"
@@ -64,6 +65,7 @@ void RunDataset(const std::string& name, const std::string& figure,
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (mto::bench::SmokeOrHelpExit(argc, argv, "bench_fig7_error_vs_cost", "[--runs N] [--small]")) return 0;
   size_t runs = 20;
   bool small = false;
   for (int i = 1; i < argc; ++i) {

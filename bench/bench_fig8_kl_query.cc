@@ -11,11 +11,13 @@
 #include <iostream>
 #include <string>
 
+#include "bench/bench_flags.h"
 #include "src/experiments/harness.h"
 #include "src/graph/datasets.h"
 #include "src/util/table.h"
 
 int main(int argc, char** argv) {
+  if (mto::bench::SmokeOrHelpExit(argc, argv, "bench_fig8_kl_query", "[--samples N]")) return 0;
   using namespace mto;
   size_t samples = 200000;
   for (int i = 1; i < argc; ++i) {

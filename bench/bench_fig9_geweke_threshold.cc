@@ -9,11 +9,13 @@
 #include <cstring>
 #include <iostream>
 
+#include "bench/bench_flags.h"
 #include "src/experiments/harness.h"
 #include "src/graph/datasets.h"
 #include "src/util/table.h"
 
 int main(int argc, char** argv) {
+  if (mto::bench::SmokeOrHelpExit(argc, argv, "bench_fig9_geweke_threshold", "[--samples N]")) return 0;
   using namespace mto;
   size_t samples = 3000;
   for (int i = 1; i < argc; ++i) {

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+
+namespace mto::bench {
+
+// CI smoke mode (the smoke_* ctest targets in CMakeLists.txt): benches are
+// kept compiling and linking by CI, but their full runtime is never paid
+// there. `--smoke` prints a build-OK line and exits before any work;
+// `--help` documents the bench's own flags.
+inline bool SmokeOrHelpExit(int argc, char** argv, const char* name,
+                            const char* extra_flags = "") {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      std::printf("[smoke] %s: build + startup OK\n", name);
+      return true;
+    }
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [--smoke] [--help] %s\n", name, extra_flags);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace mto::bench

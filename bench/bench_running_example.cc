@@ -9,6 +9,7 @@
 
 #include <iostream>
 
+#include "bench/bench_flags.h"
 #include "src/core/full_overlay.h"
 #include "src/graph/generators.h"
 #include "src/graph/graph_stats.h"
@@ -17,7 +18,8 @@
 #include "src/spectral/mixing.h"
 #include "src/util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  if (mto::bench::SmokeOrHelpExit(argc, argv, "bench_running_example")) return 0;
   using namespace mto;
   Graph g = Barbell(11);
 

@@ -4,11 +4,13 @@
 
 #include <iostream>
 
+#include "bench/bench_flags.h"
 #include "src/graph/datasets.h"
 #include "src/graph/graph_stats.h"
 #include "src/util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  if (mto::bench::SmokeOrHelpExit(argc, argv, "bench_table1_datasets")) return 0;
   using namespace mto;
   PrintBanner(std::cout, "Table I: local datasets (paper vs stand-in)");
   Table table({"dataset", "paper nodes", "nodes", "paper edges", "edges",

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <iostream>
 
+#include "bench/bench_flags.h"
 #include "src/core/full_overlay.h"
 #include "src/experiments/latent_space_theory.h"
 #include "src/graph/builder.h"
@@ -18,6 +19,7 @@
 #include "src/util/table.h"
 
 int main(int argc, char** argv) {
+  if (mto::bench::SmokeOrHelpExit(argc, argv, "bench_theorem6_bound", "[--seeds N]")) return 0;
   using namespace mto;
   size_t seeds = 40;
   for (int i = 1; i < argc; ++i) {

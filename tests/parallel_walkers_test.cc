@@ -1,0 +1,187 @@
+#include "src/walk/parallel_walkers.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/graph/generators.h"
+#include "src/net/restricted_interface.h"
+#include "src/net/social_network.h"
+#include "src/util/rng.h"
+#include "src/walk/mhrw.h"
+#include "src/walk/srw.h"
+
+namespace mto {
+namespace {
+
+constexpr uint64_t kSeed = 0xC0FFEE;
+
+/// A pool of `count` SRW walkers with per-walker forked RNG streams.
+/// Walker i's stream depends only on (kSeed, i) — forks are taken in index
+/// order — so its trajectory must not depend on the pool size.
+struct Pool {
+  explicit Pool(RestrictedInterface& iface, size_t count) {
+    Rng parent(kSeed);
+    std::vector<std::unique_ptr<Sampler>> walkers;
+    for (size_t i = 0; i < count; ++i) {
+      rngs.push_back(std::make_unique<Rng>(parent.Fork(i)));
+      walkers.push_back(std::make_unique<SimpleRandomWalk>(
+          iface, *rngs.back(), static_cast<NodeId>(i)));
+    }
+    pool = std::make_unique<ParallelWalkers>(std::move(walkers));
+  }
+
+  /// Trajectories of walkers 0 and 1 over `steps` rounds of StepAll().
+  std::pair<std::vector<NodeId>, std::vector<NodeId>> Trajectories(
+      size_t steps) {
+    std::vector<NodeId> t0, t1;
+    for (size_t s = 0; s < steps; ++s) {
+      pool->StepAll();
+      t0.push_back(pool->walker(0).current());
+      t1.push_back(pool->walker(1).current());
+    }
+    return {std::move(t0), std::move(t1)};
+  }
+
+  std::vector<std::unique_ptr<Rng>> rngs;  // must outlive the walkers
+  std::unique_ptr<ParallelWalkers> pool;
+};
+
+TEST(ParallelWalkersTest, FixedSeedTrajectoryIndependentOfWalkerCount) {
+  Graph g = Barbell(11);
+  const size_t kSteps = 200;
+  // Fresh interface per pool so the shared cache cannot leak state between
+  // configurations (it must not matter — it only affects cost — but the test
+  // should not depend on that).
+  std::vector<std::vector<NodeId>> w0, w1;
+  for (size_t count : {2u, 4u, 8u}) {
+    SocialNetwork net(g);
+    RestrictedInterface iface(net);
+    Pool pool(iface, count);
+    auto [t0, t1] = pool.Trajectories(kSteps);
+    w0.push_back(std::move(t0));
+    w1.push_back(std::move(t1));
+  }
+  EXPECT_EQ(w0[0], w0[1]);
+  EXPECT_EQ(w0[1], w0[2]);
+  EXPECT_EQ(w1[0], w1[1]);
+  EXPECT_EQ(w1[1], w1[2]);
+}
+
+TEST(ParallelWalkersTest, SameSeedSamePoolIsBitForBitReproducible) {
+  Graph g = Barbell(8);
+  SocialNetwork net_a(g), net_b(g);
+  RestrictedInterface iface_a(net_a), iface_b(net_b);
+  Pool a(iface_a, 4), b(iface_b, 4);
+  for (int s = 0; s < 300; ++s) {
+    a.pool->StepAll();
+    b.pool->StepAll();
+    EXPECT_EQ(a.pool->Positions(), b.pool->Positions()) << "step " << s;
+  }
+}
+
+TEST(ParallelWalkersTest, ForkedStreamsProduceDistinctTrajectories) {
+  // Independence smoke check on the walks themselves: with 6 walkers on a
+  // well-connected graph, no two trajectories may coincide (identical streams
+  // on the same start would; decorrelated ones have vanishing probability).
+  SocialNetwork net(Complete(12));
+  RestrictedInterface iface(net);
+  Rng parent(kSeed);
+  std::vector<std::unique_ptr<Rng>> rngs;
+  std::vector<std::unique_ptr<Sampler>> walkers;
+  for (size_t i = 0; i < 6; ++i) {
+    rngs.push_back(std::make_unique<Rng>(parent.Fork(i)));
+    // All walkers share one start node: only the stream differentiates them.
+    walkers.push_back(std::make_unique<SimpleRandomWalk>(iface, *rngs.back(), 0));
+  }
+  ParallelWalkers pool(std::move(walkers));
+  std::vector<std::vector<NodeId>> traj(pool.size());
+  for (int s = 0; s < 64; ++s) {
+    pool.StepAll();
+    for (size_t i = 0; i < pool.size(); ++i) {
+      traj[i].push_back(pool.walker(i).current());
+    }
+  }
+  for (size_t i = 0; i < traj.size(); ++i) {
+    for (size_t j = i + 1; j < traj.size(); ++j) {
+      EXPECT_NE(traj[i], traj[j]) << "walkers " << i << " and " << j;
+    }
+  }
+}
+
+TEST(ParallelWalkersTest, ForkedStreamsAreStatisticallyDecorrelated) {
+  // Pearson correlation of the raw uniform streams across 16 pairs of forked
+  // streams (32 streams) stays small — per-walker RNG streams do not trail
+  // each other.
+  Rng parent(kSeed);
+  const size_t kN = 4096;
+  for (uint64_t pair = 0; pair < 32; pair += 2) {
+    Rng a = parent.Fork(pair);
+    Rng b = parent.Fork(pair + 1);
+    double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+    for (size_t i = 0; i < kN; ++i) {
+      const double x = a.UniformDouble();
+      const double y = b.UniformDouble();
+      sx += x; sy += y; sxx += x * x; syy += y * y; sxy += x * y;
+    }
+    const double n = static_cast<double>(kN);
+    const double cov = sxy / n - (sx / n) * (sy / n);
+    const double vx = sxx / n - (sx / n) * (sx / n);
+    const double vy = syy / n - (sy / n) * (sy / n);
+    const double corr = cov / std::sqrt(vx * vy);
+    EXPECT_LT(std::abs(corr), 0.08) << "streams " << pair << "," << pair + 1;
+  }
+}
+
+TEST(ParallelWalkersTest, SharedInterfaceMergesCaches) {
+  // The pool's point (paper Section VI): a region one walker paid for is free
+  // for the others. W walkers on a cycle each walk locally; total unique-query
+  // cost is bounded by the number of nodes, not walkers x steps.
+  SocialNetwork net(Cycle(16));
+  RestrictedInterface iface(net);
+  Pool pool(iface, 4);
+  for (int s = 0; s < 200; ++s) pool.pool->StepAll();
+  EXPECT_LE(iface.QueryCost(), 16u);
+  EXPECT_GE(iface.QueryCost(), 4u);
+}
+
+TEST(ParallelWalkersTest, CollectGathersOneSamplePerWalker) {
+  SocialNetwork net(Star(6));
+  RestrictedInterface iface(net);
+  Pool pool(iface, 3);
+  std::vector<double> values, weights;
+  pool.pool->Collect([](Sampler& s) { return s.CurrentDegreeForDiagnostic(); },
+                     values, weights);
+  ASSERT_EQ(values.size(), 3u);
+  ASSERT_EQ(weights.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    const double degree = pool.pool->walker(i).CurrentDegreeForDiagnostic();
+    EXPECT_DOUBLE_EQ(values[i], degree);
+    EXPECT_DOUBLE_EQ(weights[i], 1.0 / degree);
+  }
+}
+
+TEST(ParallelWalkersTest, StepOneAdvancesOnlyThatWalker) {
+  SocialNetwork net(Cycle(8));
+  RestrictedInterface iface(net);
+  Pool pool(iface, 3);
+  const auto before = pool.pool->Positions();
+  pool.pool->StepOne(1);
+  const auto after = pool.pool->Positions();
+  EXPECT_EQ(after[0], before[0]);
+  EXPECT_EQ(after[2], before[2]);
+  EXPECT_NE(after[1], before[1]);  // on a cycle every step moves
+}
+
+TEST(ParallelWalkersTest, RejectsEmptyAndNullWalkers) {
+  EXPECT_THROW(ParallelWalkers({}), std::invalid_argument);
+  std::vector<std::unique_ptr<Sampler>> with_null;
+  with_null.push_back(nullptr);
+  EXPECT_THROW(ParallelWalkers(std::move(with_null)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mto
