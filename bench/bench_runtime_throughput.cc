@@ -1,0 +1,237 @@
+// Crawl-runtime throughput: walkers x threads x batch-size sweep over the
+// concurrent scheduler (src/runtime), against the single-threaded
+// round-robin pool (walk/ParallelWalkers) as baseline.
+//
+// Two regimes, two tables:
+//  * CPU-bound (zero latency): free-running sharded walkers; the metric is
+//    raw steps/sec. Unique-query cost must match the baseline exactly —
+//    parallelism and caching change speed, never the paper's cost measure.
+//  * Latency-bound (simulated per-request RTT): every backend round trip
+//    sleeps; threads overlap RTTs and frontier coalescing amortizes them
+//    over bulk requests, so speedups appear even on a single core. This is
+//    the regime real crawls live in.
+//
+// --json=PATH writes every row as a JSON array for CI artifact tracking.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_flags.h"
+#include "src/graph/datasets.h"
+#include "src/net/restricted_interface.h"
+#include "src/runtime/concurrent_interface_cache.h"
+#include "src/runtime/crawl_scheduler.h"
+#include "src/util/table.h"
+#include "src/walk/parallel_walkers.h"
+#include "src/walk/srw.h"
+
+namespace {
+
+using namespace mto;
+
+constexpr uint64_t kSeed = 0xC0FFEE;
+
+struct Row {
+  std::string section;
+  std::string mode;
+  size_t walkers = 0;
+  size_t threads = 0;
+  size_t batch = 0;
+  size_t rounds = 0;
+  double wall_ms = 0.0;
+  double steps_per_sec = 0.0;
+  uint64_t unique_queries = 0;
+  uint64_t backend_requests = 0;
+  std::vector<NodeId> positions;
+};
+
+std::unique_ptr<Sampler> MakeWalker(RestrictedInterface& iface, Rng& rng,
+                                    size_t i) {
+  return std::make_unique<SimpleRandomWalk>(
+      iface, rng, static_cast<NodeId>(i % iface.num_users()));
+}
+
+/// Single-threaded round-robin baseline: the pre-runtime execution model.
+Row RunBaseline(const SocialNetwork& net, size_t walkers, size_t rounds,
+                std::chrono::microseconds latency) {
+  RestrictedInterface iface(net);
+  iface.SetSimulatedLatency(latency);
+  Rng parent(kSeed);
+  std::vector<std::unique_ptr<Rng>> rngs;
+  std::vector<std::unique_ptr<Sampler>> pool_walkers;
+  for (size_t i = 0; i < walkers; ++i) {
+    rngs.push_back(std::make_unique<Rng>(parent.Fork(i)));
+    pool_walkers.push_back(MakeWalker(iface, *rngs.back(), i));
+  }
+  ParallelWalkers pool(std::move(pool_walkers));
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t r = 0; r < rounds; ++r) pool.StepAll();
+  const auto end = std::chrono::steady_clock::now();
+
+  Row row;
+  row.section = latency.count() > 0 ? "latency-bound" : "cpu-bound";
+  row.mode = "round-robin";
+  row.walkers = walkers;
+  row.threads = 1;
+  row.batch = 1;
+  row.rounds = rounds;
+  row.wall_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  row.steps_per_sec =
+      static_cast<double>(walkers * rounds) / (row.wall_ms / 1000.0);
+  row.unique_queries = iface.QueryCost();
+  row.backend_requests = iface.BackendRequests();
+  row.positions = pool.Positions();
+  return row;
+}
+
+Row RunScheduler(const SocialNetwork& net, size_t walkers, size_t threads,
+                 size_t rounds, std::chrono::microseconds latency,
+                 size_t batch) {
+  RestrictedInterface base(net);
+  base.SetSimulatedLatency(latency);
+  base.SetMaxBatchSize(batch == 0 ? 1 : batch);
+  ConcurrentInterfaceCache session(base);
+  CrawlConfig config;
+  config.num_walkers = walkers;
+  config.num_threads = threads;
+  config.coalesce_frontier = batch > 0;
+  CrawlScheduler scheduler(session, config, kSeed, MakeWalker);
+  const auto start = std::chrono::steady_clock::now();
+  scheduler.RunRounds(rounds);
+  const auto end = std::chrono::steady_clock::now();
+
+  Row row;
+  row.section = latency.count() > 0 ? "latency-bound" : "cpu-bound";
+  row.mode = batch > 0 ? "coalesced" : "free-run";
+  row.walkers = walkers;
+  row.threads = threads;
+  row.batch = batch == 0 ? 1 : batch;
+  row.rounds = rounds;
+  row.wall_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  row.steps_per_sec =
+      static_cast<double>(walkers * rounds) / (row.wall_ms / 1000.0);
+  row.unique_queries = session.QueryCost();
+  row.backend_requests = session.BackendRequests();
+  row.positions = scheduler.Positions();
+  return row;
+}
+
+void PrintSection(const std::string& title, const std::vector<Row>& rows,
+                  const Row& baseline) {
+  PrintBanner(std::cout, title);
+  Table table({"mode", "walkers", "threads", "batch", "steps/sec",
+               "speedup", "unique queries", "backend trips", "wall ms"});
+  for (const Row& r : rows) {
+    table.AddRow({r.mode, std::to_string(r.walkers),
+                  std::to_string(r.threads), std::to_string(r.batch),
+                  Table::Num(r.steps_per_sec, 0),
+                  Table::Num(r.steps_per_sec / baseline.steps_per_sec, 2),
+                  std::to_string(r.unique_queries),
+                  std::to_string(r.backend_requests),
+                  Table::Num(r.wall_ms, 1)});
+  }
+  table.PrintText(std::cout);
+  std::cout << "\n";
+}
+
+void WriteJson(const std::string& path, const std::vector<Row>& rows) {
+  std::ofstream out(path);
+  out << "[\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "  {\"section\": \"" << r.section << "\", \"mode\": \"" << r.mode
+        << "\", \"walkers\": " << r.walkers
+        << ", \"threads\": " << r.threads << ", \"batch\": " << r.batch
+        << ", \"rounds\": " << r.rounds << ", \"wall_ms\": " << r.wall_ms
+        << ", \"steps_per_sec\": " << r.steps_per_sec
+        << ", \"unique_queries\": " << r.unique_queries
+        << ", \"backend_requests\": " << r.backend_requests << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  std::cout << "wrote " << rows.size() << " rows to " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (mto::bench::SmokeOrHelpExit(
+          argc, argv, "bench_runtime_throughput",
+          "[--dataset=NAME] [--walkers=N] [--rounds=N] [--json=PATH]")) {
+    return 0;
+  }
+  std::string dataset = "epinions_small";
+  size_t walkers = 64;
+  size_t rounds = 2000;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--dataset=", 10) == 0) dataset = argv[i] + 10;
+    if (std::strncmp(argv[i], "--walkers=", 10) == 0) {
+      walkers = static_cast<size_t>(std::atoll(argv[i] + 10));
+    }
+    if (std::strncmp(argv[i], "--rounds=", 9) == 0) {
+      rounds = static_cast<size_t>(std::atoll(argv[i] + 9));
+    }
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+
+  SocialNetwork net(MakeDataset(dataset));
+  std::cout << "dataset " << dataset << ": " << net.num_users() << " users, "
+            << net.graph().num_edges() << " edges\n";
+  std::vector<Row> all;
+
+  // --- CPU-bound: raw stepping throughput, shared cache, no latency. ---
+  const auto kNoLatency = std::chrono::microseconds(0);
+  Row cpu_base = RunBaseline(net, walkers, rounds, kNoLatency);
+  std::vector<Row> cpu_rows = {cpu_base};
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    cpu_rows.push_back(
+        RunScheduler(net, walkers, threads, rounds, kNoLatency, 0));
+  }
+  PrintSection("CPU-bound (no simulated latency)", cpu_rows, cpu_base);
+
+  // --- Latency-bound: 200us per backend round trip. ---
+  const auto kRtt = std::chrono::microseconds(200);
+  const size_t lat_rounds = std::max<size_t>(1, rounds / 40);
+  Row lat_base = RunBaseline(net, walkers, lat_rounds, kRtt);
+  std::vector<Row> lat_rows = {lat_base};
+  for (size_t threads : {1u, 4u, 8u}) {
+    for (size_t batch : {0u, 16u, 64u}) {
+      lat_rows.push_back(
+          RunScheduler(net, walkers, threads, lat_rounds, kRtt, batch));
+    }
+  }
+  PrintSection("Latency-bound (200us per backend round trip)", lat_rows,
+               lat_base);
+
+  // Invariant check across every configuration of a section: walkers only
+  // go faster, they never walk elsewhere or pay a different query cost.
+  bool ok = true;
+  for (const auto* rows : {&cpu_rows, &lat_rows}) {
+    for (const Row& r : *rows) {
+      const Row& base = rows->front();
+      if (r.positions != base.positions ||
+          r.unique_queries != base.unique_queries) {
+        ok = false;
+        std::cout << "DETERMINISM VIOLATION: " << r.mode << " t="
+                  << r.threads << " b=" << r.batch << "\n";
+      }
+    }
+  }
+  std::cout << (ok ? "determinism: positions and unique-query cost identical"
+                     " across all configurations\n"
+                   : "determinism: FAILED\n");
+
+  all.insert(all.end(), cpu_rows.begin(), cpu_rows.end());
+  all.insert(all.end(), lat_rows.begin(), lat_rows.end());
+  if (!json_path.empty()) WriteJson(json_path, all);
+  return ok ? 0 : 1;
+}

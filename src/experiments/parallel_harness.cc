@@ -1,0 +1,113 @@
+#include "src/experiments/parallel_harness.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/runtime/concurrent_interface_cache.h"
+#include "src/runtime/crawl_scheduler.h"
+#include "src/runtime/estimation_pipeline.h"
+
+namespace mto {
+
+ParallelWalkResult ParallelRunAggregateEstimation(
+    const SocialNetwork& network, const ParallelWalkConfig& config,
+    uint64_t seed) {
+  if (network.num_users() == 0) {
+    throw std::invalid_argument(
+        "ParallelRunAggregateEstimation: empty network");
+  }
+  if (config.base.restart_per_sample) {
+    throw std::invalid_argument(
+        "ParallelRunAggregateEstimation: restart_per_sample is a "
+        "single-chain protocol; use RunAggregateEstimation");
+  }
+  RestrictedInterface base_session(network);
+  ConcurrentInterfaceCache session(base_session);
+
+  const WalkRunConfig& run = config.base;
+  CrawlConfig crawl;
+  crawl.num_walkers = config.num_walkers;
+  crawl.num_threads = config.num_threads;
+  crawl.coalesce_frontier = config.coalesce_frontier;
+  CrawlScheduler scheduler(
+      session, crawl, seed,
+      [&](RestrictedInterface& iface, Rng& rng, size_t) {
+        // Walker i's start is the first draw of its own (seed, i) stream —
+        // a function of (seed, i) only, like everything downstream.
+        const NodeId start =
+            static_cast<NodeId>(rng.UniformInt(network.num_users()));
+        return MakeSampler(run.kind, iface, rng, start, run.mto,
+                           run.jump_probability);
+      });
+
+  EstimationPipeline::Options pipe_options;
+  pipe_options.geweke_threshold = run.geweke_threshold;
+  pipe_options.geweke_min_length = run.geweke_min_length;
+  pipe_options.geweke_check_every = run.geweke_check_every;
+  pipe_options.queue_capacity = config.queue_capacity;
+  EstimationPipeline pipeline(pipe_options);
+
+  const size_t W = config.num_walkers;
+  ParallelWalkResult result;
+
+  // Burn-in in epochs of the monitor's own check cadence: the scheduler
+  // walks the next epoch while the estimation thread chews through the
+  // previous one; the continue/stop decision is taken at epoch boundaries
+  // on a fully-consumed prefix, so it is a pure function of the trace.
+  const size_t epoch_rounds = std::max<size_t>(1, run.geweke_check_every);
+  std::vector<double> diagnostics;
+  bool converged = false;
+  size_t rounds = 0;
+  while (!converged && rounds < run.max_burn_in_steps) {
+    const size_t chunk =
+        std::min(epoch_rounds, run.max_burn_in_steps - rounds);
+    diagnostics.clear();
+    scheduler.RunRounds(chunk, &diagnostics);
+    pipeline.PushDiagnostics(diagnostics);
+    rounds += chunk;
+    converged = pipeline.ConvergedAfter(rounds * W);
+  }
+  result.burn_in_rounds = rounds;
+  result.burn_in_converged = converged;
+  result.burn_in_query_cost = session.QueryCost();
+
+  if (run.mto_freeze_after_burn_in) {
+    for (size_t i = 0; i < scheduler.size(); ++i) {
+      if (auto* mto = dynamic_cast<MtoSampler*>(&scheduler.walker(i))) {
+        mto->FreezeTopology();
+      }
+    }
+  }
+
+  // Sampling phase: every collection round reads one weighted sample per
+  // walker, in walker order, on this (coordinator) thread — estimation
+  // stays on the pipeline's thread.
+  const size_t collection_rounds = (run.num_samples + W - 1) / W;
+  for (size_t c = 0; c < collection_rounds; ++c) {
+    if (c > 0) {
+      scheduler.RunRounds(run.thinning);
+      rounds += run.thinning;
+    }
+    for (size_t i = 0; i < W; ++i) {
+      Sampler& walker = scheduler.walker(i);
+      result.samples.push_back(walker.current());
+      const double value = AttributeValue(walker, run.attribute);
+      const double weight = walker.ImportanceWeight();
+      pipeline.PushSample(value, weight, session.QueryCost());
+    }
+  }
+
+  EstimationPipeline::Result estimation = pipeline.Finish();
+  result.trace.reserve(estimation.trace.size());
+  for (const auto& point : estimation.trace) {
+    result.trace.push_back({point.query_cost, point.estimate});
+  }
+  result.final_estimate = estimation.estimate;
+  result.total_rounds = rounds;
+  result.total_steps = scheduler.total_steps();
+  result.total_query_cost = session.QueryCost();
+  result.backend_requests = session.BackendRequests();
+  return result;
+}
+
+}  // namespace mto

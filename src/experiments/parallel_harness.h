@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/experiments/harness.h"
+
+namespace mto {
+
+/// Parameters of a concurrent aggregate-estimation run: the serial
+/// WalkRunConfig plus the crawl-runtime knobs. `base.max_burn_in_steps`,
+/// `geweke_*` and `thinning` are interpreted per walker (each chain burns
+/// in under the shared Geweke trace); `base.num_samples` is the *total*
+/// sample target across walkers (rounded up to a whole collection round).
+/// `base.restart_per_sample` is not supported in the parallel harness.
+struct ParallelWalkConfig {
+  WalkRunConfig base;
+  size_t num_walkers = 8;
+  size_t num_threads = 1;
+  /// See CrawlConfig::coalesce_frontier.
+  bool coalesce_frontier = false;
+  /// Capacity of the sample queue between crawl and estimation threads.
+  size_t queue_capacity = 4096;
+};
+
+/// Result of a parallel run. Mirrors WalkRunResult with rounds instead of
+/// single-chain steps where the serial notion does not carry over.
+struct ParallelWalkResult {
+  std::vector<NodeId> samples;    ///< node ids, round-major in walker order
+  std::vector<TracePoint> trace;  ///< running estimate after each sample
+  uint64_t total_query_cost = 0;
+  uint64_t burn_in_query_cost = 0;
+  uint64_t backend_requests = 0;   ///< round trips paid (batching metric)
+  size_t burn_in_rounds = 0;       ///< rounds until the Geweke trace hit
+  size_t total_rounds = 0;
+  uint64_t total_steps = 0;        ///< across all walkers
+  bool burn_in_converged = false;
+  double final_estimate = 0.0;
+};
+
+/// Drop-in parallel variant of RunAggregateEstimation: W walkers sharded
+/// over T threads share one thread-safe crawl session; the Geweke decision
+/// and the importance-sampling estimate run on a dedicated estimation
+/// thread fed through a bounded SPSC queue (runtime/EstimationPipeline).
+///
+/// Deterministic given (seed, config.num_walkers): `samples`, `trace` and
+/// `final_estimate` are bit-identical across `num_threads` and across both
+/// stepping modes, provided the budget (if any) is never exhausted — see
+/// CrawlScheduler's contract. Walker i's chain is seeded exactly like the
+/// serial harness run would seed its single chain from `Rng(seed).Fork(i)`;
+/// start nodes are drawn from the parent stream in walker order.
+ParallelWalkResult ParallelRunAggregateEstimation(
+    const SocialNetwork& network, const ParallelWalkConfig& config,
+    uint64_t seed);
+
+}  // namespace mto

@@ -1,11 +1,28 @@
 #include "src/net/restricted_interface.h"
 
 #include <stdexcept>
+#include <thread>
 
 namespace mto {
 
 RestrictedInterface::RestrictedInterface(const SocialNetwork& network)
     : network_(&network), cached_(network.num_users(), false) {}
+
+QueryResult RestrictedInterface::MakeResult(NodeId v) const {
+  QueryResult r;
+  r.user = v;
+  r.profile = network_->profile(v);
+  auto nbrs = network_->graph().Neighbors(v);
+  r.neighbors.assign(nbrs.begin(), nbrs.end());
+  return r;
+}
+
+void RestrictedInterface::SimulateRoundTrip() {
+  ++backend_requests_;
+  if (simulated_latency_.count() > 0) {
+    std::this_thread::sleep_for(simulated_latency_);
+  }
+}
 
 std::optional<QueryResult> RestrictedInterface::Query(NodeId v) {
   if (v >= network_->num_users()) {
@@ -14,20 +31,41 @@ std::optional<QueryResult> RestrictedInterface::Query(NodeId v) {
   ++total_requests_;
   if (!cached_[v]) {
     if (budget_ && unique_queries_ >= *budget_) return std::nullopt;
+    SimulateRoundTrip();
     cached_[v] = true;
     ++unique_queries_;
   }
-  const Graph& g = network_->graph();
-  QueryResult r;
-  r.user = v;
-  r.profile = network_->profile(v);
-  auto nbrs = g.Neighbors(v);
-  r.neighbors.assign(nbrs.begin(), nbrs.end());
-  return r;
+  return MakeResult(v);
+}
+
+std::vector<std::optional<QueryResult>> RestrictedInterface::BatchQuery(
+    std::span<const NodeId> ids) {
+  for (NodeId v : ids) {
+    if (v >= network_->num_users()) {
+      throw std::invalid_argument("BatchQuery: unknown user id");
+    }
+  }
+  std::vector<std::optional<QueryResult>> results(ids.size());
+  // One backend round trip serves up to max_batch_size_ cache misses; the
+  // trip is paid when its first miss is admitted.
+  size_t misses_in_trip = 0;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const NodeId v = ids[i];
+    ++total_requests_;
+    if (!cached_[v]) {
+      if (budget_ && unique_queries_ >= *budget_) continue;  // nullopt
+      if (misses_in_trip == 0) SimulateRoundTrip();
+      misses_in_trip = (misses_in_trip + 1) % max_batch_size_;
+      cached_[v] = true;
+      ++unique_queries_;
+    }
+    results[i] = MakeResult(v);
+  }
+  return results;
 }
 
 std::optional<uint32_t> RestrictedInterface::CachedDegree(NodeId v) const {
-  if (v >= network_->num_users() || !cached_[v]) return std::nullopt;
+  if (!IsCached(v)) return std::nullopt;
   return network_->graph().Degree(v);
 }
 
@@ -36,10 +74,18 @@ std::optional<QueryResult> RestrictedInterface::RandomUser(Rng& rng) {
   return Query(v);
 }
 
+void RestrictedInterface::SetMaxBatchSize(size_t max_batch_size) {
+  if (max_batch_size == 0) {
+    throw std::invalid_argument("SetMaxBatchSize: batch size must be >= 1");
+  }
+  max_batch_size_ = max_batch_size;
+}
+
 void RestrictedInterface::Reset() {
   cached_.assign(network_->num_users(), false);
   unique_queries_ = 0;
   total_requests_ = 0;
+  backend_requests_ = 0;
 }
 
 }  // namespace mto

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -32,23 +33,53 @@ struct QueryResult {
 ///    Random Jump baseline, Section I-B); it costs one query.
 ///  * an optional hard query budget makes `Query` report exhaustion, which
 ///    experiment harnesses use to cap runs.
+///
+/// Beyond the single-user endpoint the interface models the bulk-fetch
+/// endpoints real OSN APIs expose (`users/lookup`-style): `BatchQuery`
+/// answers up to `max_batch_size()` users per backend round trip. An
+/// optional simulated per-request latency makes the round-trip economics
+/// measurable: every backend request (one cache-missing `Query`, or one
+/// chunk of a `BatchQuery`) sleeps `simulated_latency()`, while cache hits
+/// stay free. `BackendRequests()` counts the round trips paid.
+///
+/// The query methods are virtual so schedulers can swap in a thread-safe
+/// session (runtime/ConcurrentInterfaceCache) without samplers noticing.
+/// This base class itself is single-threaded: concurrent calls on one
+/// instance are undefined behavior.
 class RestrictedInterface {
  public:
   /// Wraps a network. The interface does not own the network; keep it alive.
   explicit RestrictedInterface(const SocialNetwork& network);
 
+  virtual ~RestrictedInterface() = default;
+
+  RestrictedInterface(const RestrictedInterface&) = delete;
+  RestrictedInterface& operator=(const RestrictedInterface&) = delete;
+
   /// Issues q(v). Counts one unit of query cost iff `v` was never queried
   /// before. Returns std::nullopt when the query budget is exhausted and
   /// `v` is not cached.
-  std::optional<QueryResult> Query(NodeId v);
+  virtual std::optional<QueryResult> Query(NodeId v);
+
+  /// Bulk endpoint: issues q(v) for every id, in order. Unique-query cost
+  /// accounting is identical to calling `Query` per id; the difference is
+  /// latency, which is paid once per backend chunk of up to
+  /// `max_batch_size()` cache-missing ids instead of once per miss.
+  /// Per-id results mirror `Query` (std::nullopt once the budget runs out).
+  virtual std::vector<std::optional<QueryResult>> BatchQuery(
+      std::span<const NodeId> ids);
 
   /// Degree of a previously queried user, without issuing a query.
   /// Returns std::nullopt when `v` has never been queried (its degree is
-  /// unknown to a third party) — this powers Theorem 5's N* set.
-  std::optional<uint32_t> CachedDegree(NodeId v) const;
+  /// unknown to a third party) — this powers Theorem 5's N* set — or when
+  /// `v` is not a valid user id.
+  virtual std::optional<uint32_t> CachedDegree(NodeId v) const;
 
-  /// True iff `v` has been queried before (and is hence locally cached).
-  bool IsCached(NodeId v) const { return cached_[v]; }
+  /// True iff `v` is a valid user id that has been queried before (and is
+  /// hence locally cached). Out-of-range ids are simply not cached.
+  virtual bool IsCached(NodeId v) const {
+    return v < cached_.size() && cached_[v];
+  }
 
   /// Public total user count (paper footnote 4).
   NodeId num_users() const { return network_->num_users(); }
@@ -58,23 +89,56 @@ class RestrictedInterface {
   std::optional<QueryResult> RandomUser(Rng& rng);
 
   /// Unique queries issued so far — the paper's query-cost measure.
-  uint64_t QueryCost() const { return unique_queries_; }
+  virtual uint64_t QueryCost() const { return unique_queries_; }
 
   /// Total requests including cache hits (for diagnostics only).
-  uint64_t TotalRequests() const { return total_requests_; }
+  virtual uint64_t TotalRequests() const { return total_requests_; }
+
+  /// Backend round trips paid so far (cache-missing queries plus batch
+  /// chunks). With zero simulated latency this is still counted; it is the
+  /// crawl's wall-clock cost model.
+  virtual uint64_t BackendRequests() const { return backend_requests_; }
 
   /// Sets a hard budget on unique queries; std::nullopt = unlimited.
-  void SetBudget(std::optional<uint64_t> budget) { budget_ = budget; }
+  virtual void SetBudget(std::optional<uint64_t> budget) { budget_ = budget; }
+
+  /// Sleep executed per backend round trip; zero (the default) disables the
+  /// latency simulation entirely.
+  void SetSimulatedLatency(std::chrono::microseconds latency) {
+    simulated_latency_ = latency;
+  }
+  std::chrono::microseconds simulated_latency() const {
+    return simulated_latency_;
+  }
+
+  /// Maximum ids the bulk endpoint serves per backend round trip (>= 1).
+  virtual void SetMaxBatchSize(size_t max_batch_size);
+  virtual size_t max_batch_size() const { return max_batch_size_; }
 
   /// Clears the cache and counters (new sampler session).
-  void Reset();
+  virtual void Reset();
+
+  /// The wrapped network. Infrastructure/diagnostics use only — sampler
+  /// code must never reach around the query interface.
+  const SocialNetwork& network() const { return *network_; }
+
+ protected:
+  /// Materializes q(v) from the (immutable) network; shared by the cache
+  /// implementations. `v` must be a valid id.
+  QueryResult MakeResult(NodeId v) const;
+
+  /// Sleeps `simulated_latency()` once (one backend round trip).
+  void SimulateRoundTrip();
 
  private:
   const SocialNetwork* network_;
   std::vector<bool> cached_;
   uint64_t unique_queries_ = 0;
   uint64_t total_requests_ = 0;
+  uint64_t backend_requests_ = 0;
   std::optional<uint64_t> budget_;
+  std::chrono::microseconds simulated_latency_{0};
+  size_t max_batch_size_ = 32;
 };
 
 }  // namespace mto

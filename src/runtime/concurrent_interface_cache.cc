@@ -1,0 +1,180 @@
+#include "src/runtime/concurrent_interface_cache.h"
+
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+namespace mto {
+
+ConcurrentInterfaceCache::ConcurrentInterfaceCache(RestrictedInterface& base)
+    : RestrictedInterface(base.network()), base_(&base) {
+  const NodeId n = num_users();
+  cached_flags_ = std::make_unique<std::atomic<uint8_t>[]>(n);
+  for (NodeId v = 0; v < n; ++v) {
+    cached_flags_[v].store(base.IsCached(v) ? 1 : 0,
+                           std::memory_order_relaxed);
+  }
+  // Take over latency simulation: the wrapped session is only the ledger
+  // from here on; round trips are slept outside its mutex (see Query).
+  SetSimulatedLatency(base.simulated_latency());
+  base.SetSimulatedLatency(std::chrono::microseconds(0));
+}
+
+bool ConcurrentInterfaceCache::IsCached(NodeId v) const {
+  return v < num_users() &&
+         cached_flags_[v].load(std::memory_order_acquire) != 0;
+}
+
+std::optional<uint32_t> ConcurrentInterfaceCache::CachedDegree(
+    NodeId v) const {
+  if (!IsCached(v)) return std::nullopt;
+  return network().graph().Degree(v);
+}
+
+uint64_t ConcurrentInterfaceCache::QueryCost() const {
+  std::lock_guard<std::mutex> lock(base_mutex_);
+  return base_->QueryCost();
+}
+
+uint64_t ConcurrentInterfaceCache::BackendRequests() const {
+  std::lock_guard<std::mutex> lock(base_mutex_);
+  return base_->BackendRequests();
+}
+
+void ConcurrentInterfaceCache::SetBudget(std::optional<uint64_t> budget) {
+  std::lock_guard<std::mutex> lock(base_mutex_);
+  base_->SetBudget(budget);
+}
+
+void ConcurrentInterfaceCache::SetMaxBatchSize(size_t max_batch_size) {
+  std::lock_guard<std::mutex> lock(base_mutex_);
+  base_->SetMaxBatchSize(max_batch_size);
+}
+
+size_t ConcurrentInterfaceCache::max_batch_size() const {
+  std::lock_guard<std::mutex> lock(base_mutex_);
+  return base_->max_batch_size();
+}
+
+void ConcurrentInterfaceCache::Reset() {
+  base_->Reset();
+  const NodeId n = num_users();
+  for (NodeId v = 0; v < n; ++v) {
+    cached_flags_[v].store(0, std::memory_order_relaxed);
+  }
+  total_requests_.store(0, std::memory_order_relaxed);
+}
+
+bool ConcurrentInterfaceCache::ClaimFetch(NodeId v) {
+  Shard& s = shard(v);
+  std::unique_lock<std::mutex> lock(s.mutex);
+  while (true) {
+    if (cached_flags_[v].load(std::memory_order_acquire) != 0) return false;
+    if (s.in_flight.insert(v).second) return true;  // we own the fetch
+    s.cv.wait(lock);  // another walker is fetching v; share its response
+  }
+}
+
+void ConcurrentInterfaceCache::ResolveFetch(NodeId v, bool fetched) {
+  Shard& s = shard(v);
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.in_flight.erase(v);
+    if (fetched) cached_flags_[v].store(1, std::memory_order_release);
+  }
+  s.cv.notify_all();
+}
+
+std::optional<QueryResult> ConcurrentInterfaceCache::Query(NodeId v) {
+  if (v >= num_users()) {
+    throw std::invalid_argument("Query: unknown user id");
+  }
+  total_requests_.fetch_add(1, std::memory_order_relaxed);
+  // Lock-free hit path: the network is immutable, so a set flag is enough
+  // to materialize the response locally.
+  if (cached_flags_[v].load(std::memory_order_acquire) != 0) {
+    return MakeResult(v);
+  }
+  if (!ClaimFetch(v)) return MakeResult(v);  // cached while we waited
+  std::optional<QueryResult> r;
+  {
+    std::lock_guard<std::mutex> lock(base_mutex_);
+    r = base_->Query(v);  // ledger: cost, budget, backend-trip count
+  }
+  // Pay the round trip outside every lock; walkers racing to `v` wait in
+  // ClaimFetch until ResolveFetch, i.e. until the response "arrived".
+  if (r && simulated_latency().count() > 0) {
+    std::this_thread::sleep_for(simulated_latency());
+  }
+  ResolveFetch(v, r.has_value());
+  return r;
+}
+
+std::vector<std::optional<QueryResult>> ConcurrentInterfaceCache::BatchQuery(
+    std::span<const NodeId> ids) {
+  for (NodeId v : ids) {
+    if (v >= num_users()) {
+      throw std::invalid_argument("BatchQuery: unknown user id");
+    }
+  }
+  total_requests_.fetch_add(ids.size(), std::memory_order_relaxed);
+
+  // Claim every distinct uncached id we can without blocking. Ids already
+  // being fetched by another walker are picked up afterwards, once our own
+  // claims are resolved — never while holding claims, so two overlapping
+  // BatchQuery calls cannot deadlock waiting on each other.
+  std::vector<NodeId> claimed;
+  std::vector<NodeId> busy;
+  std::unordered_map<NodeId, std::optional<QueryResult>> fetched;
+  for (NodeId v : ids) {
+    if (fetched.count(v) != 0) continue;  // duplicate within this batch
+    if (cached_flags_[v].load(std::memory_order_acquire) != 0) continue;
+    Shard& s = shard(v);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (cached_flags_[v].load(std::memory_order_acquire) != 0) continue;
+    if (s.in_flight.insert(v).second) {
+      claimed.push_back(v);
+      fetched.emplace(v, std::nullopt);
+    } else {
+      busy.push_back(v);
+    }
+  }
+
+  if (!claimed.empty()) {
+    uint64_t trips = 0;
+    std::vector<std::optional<QueryResult>> backend;
+    {
+      std::lock_guard<std::mutex> lock(base_mutex_);
+      const uint64_t before = base_->BackendRequests();
+      backend = base_->BatchQuery(claimed);
+      trips = base_->BackendRequests() - before;
+    }
+    if (simulated_latency().count() > 0) {
+      std::this_thread::sleep_for(simulated_latency() *
+                                  static_cast<int64_t>(trips));
+    }
+    for (size_t i = 0; i < claimed.size(); ++i) {
+      ResolveFetch(claimed[i], backend[i].has_value());
+      fetched[claimed[i]] = std::move(backend[i]);
+    }
+  }
+  for (NodeId v : busy) {
+    // Waits out the other walker's fetch (or re-fetches on budget refusal);
+    // the request was already counted above.
+    total_requests_.fetch_sub(1, std::memory_order_relaxed);
+    fetched[v] = Query(v);
+  }
+
+  std::vector<std::optional<QueryResult>> results(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto it = fetched.find(ids[i]);
+    if (it != fetched.end()) {
+      results[i] = it->second;
+    } else if (cached_flags_[ids[i]].load(std::memory_order_acquire) != 0) {
+      results[i] = MakeResult(ids[i]);
+    }
+  }
+  return results;
+}
+
+}  // namespace mto

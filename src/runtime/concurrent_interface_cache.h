@@ -1,0 +1,95 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "src/net/restricted_interface.h"
+
+namespace mto {
+
+/// Thread-safe crawl session: wraps a (single-threaded) RestrictedInterface
+/// so any number of walkers can share one cache and one query budget.
+///
+/// Design (see DESIGN.md §6):
+///  * **Lock-free hit path.** A per-node atomic "cached" flag mirrors the
+///    wrapped session's cache. Since the underlying network is immutable,
+///    a set flag lets the result be materialized without any lock — the
+///    common case once walkers have warmed a region ("a region one walker
+///    has paid for is free for the others", paper Section VI).
+///  * **In-flight dedupe.** Misses register in a sharded in-flight table
+///    before fetching; a second walker racing to the same node waits on the
+///    shard's condition variable instead of issuing a duplicate backend
+///    query. Two walkers hitting the same uncached node consume exactly one
+///    unit of query cost.
+///  * **Serialized ledger.** The wrapped RestrictedInterface remains the
+///    source of truth for cost, budget, and latency bookkeeping; it is only
+///    touched under one mutex, and simulated latency is paid *outside* that
+///    mutex so concurrent misses to different nodes overlap their round
+///    trips — the effect the throughput bench measures.
+///
+/// The wrapper takes over latency simulation from the wrapped session (the
+/// session's own latency is zeroed at construction) so a round trip is
+/// never paid twice.
+///
+/// `Reset()` is *not* thread-safe: call it only while no walker is
+/// running.
+class ConcurrentInterfaceCache final : public RestrictedInterface {
+ public:
+  /// Number of independent lock shards for the miss path.
+  static constexpr size_t kShards = 16;
+
+  /// Wraps `base`, which must outlive this object. Cache state already in
+  /// `base` is honored (its flags are imported).
+  explicit ConcurrentInterfaceCache(RestrictedInterface& base);
+
+  std::optional<QueryResult> Query(NodeId v) override;
+  std::vector<std::optional<QueryResult>> BatchQuery(
+      std::span<const NodeId> ids) override;
+  std::optional<uint32_t> CachedDegree(NodeId v) const override;
+  bool IsCached(NodeId v) const override;
+
+  uint64_t QueryCost() const override;
+  uint64_t TotalRequests() const override {
+    return total_requests_.load(std::memory_order_relaxed);
+  }
+  uint64_t BackendRequests() const override;
+  void SetBudget(std::optional<uint64_t> budget) override;
+
+  /// Bulk-chunking is performed by the wrapped session; forward to it.
+  void SetMaxBatchSize(size_t max_batch_size) override;
+  size_t max_batch_size() const override;
+
+  /// Clears this cache and the wrapped session. Not thread-safe.
+  void Reset() override;
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::unordered_set<NodeId> in_flight;
+  };
+
+  Shard& shard(NodeId v) { return shards_[v % kShards]; }
+
+  /// Claims the fetch of `v`, waiting out another walker's in-flight fetch.
+  /// Returns false when `v` turned out cached (no fetch needed).
+  bool ClaimFetch(NodeId v);
+
+  /// Publishes the outcome of a claimed fetch and wakes waiters.
+  void ResolveFetch(NodeId v, bool fetched);
+
+  RestrictedInterface* base_;
+  std::unique_ptr<std::atomic<uint8_t>[]> cached_flags_;
+  std::atomic<uint64_t> total_requests_{0};
+  mutable std::mutex base_mutex_;
+  Shard shards_[kShards];
+};
+
+}  // namespace mto

@@ -1,0 +1,130 @@
+#include "src/runtime/crawl_scheduler.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace mto {
+
+CrawlScheduler::CrawlScheduler(RestrictedInterface& interface,
+                               const CrawlConfig& config, uint64_t seed,
+                               const WalkerFactory& factory)
+    : interface_(&interface), config_(config) {
+  if (config.num_walkers == 0) {
+    throw std::invalid_argument("CrawlScheduler: num_walkers must be >= 1");
+  }
+  if (!factory) {
+    throw std::invalid_argument("CrawlScheduler: null walker factory");
+  }
+  // Fork per-walker streams in index order: walker i's stream is a function
+  // of (seed, i) only, never of num_walkers' layout or num_threads.
+  Rng parent(seed);
+  rngs_.reserve(config.num_walkers);
+  walkers_.reserve(config.num_walkers);
+  for (size_t i = 0; i < config.num_walkers; ++i) {
+    rngs_.push_back(std::make_unique<Rng>(parent.Fork(i)));
+    auto walker = factory(interface, *rngs_.back(), i);
+    if (walker == nullptr) {
+      throw std::invalid_argument("CrawlScheduler: factory returned null");
+    }
+    walkers_.push_back(std::move(walker));
+  }
+  pool_ = std::make_unique<ThreadPool>(config.num_threads);
+  proposals_.resize(walkers_.size());
+}
+
+CrawlScheduler::~CrawlScheduler() = default;
+
+void CrawlScheduler::RunRounds(size_t rounds,
+                               std::vector<double>* diagnostics) {
+  if (config_.coalesce_frontier) {
+    for (size_t r = 0; r < rounds; ++r) RunCoalescedRound(diagnostics);
+  } else {
+    RunFreeRounds(rounds, diagnostics);
+  }
+  total_steps_ += rounds * walkers_.size();
+}
+
+void CrawlScheduler::RunFreeRounds(size_t rounds,
+                                   std::vector<double>* diagnostics) {
+  const size_t W = walkers_.size();
+  size_t diag_base = 0;
+  if (diagnostics != nullptr) {
+    diag_base = diagnostics->size();
+    diagnostics->resize(diag_base + rounds * W);
+  }
+  pool_->Run([&](size_t t) {
+    auto [begin, end] = ThreadPool::BlockRange(W, pool_->size(), t);
+    for (size_t i = begin; i < end; ++i) {
+      Sampler& w = *walkers_[i];
+      if (diagnostics == nullptr) {
+        // Hot path: no per-round bookkeeping, best cache locality.
+        for (size_t r = 0; r < rounds; ++r) w.Step();
+      } else {
+        for (size_t r = 0; r < rounds; ++r) {
+          w.Step();
+          // Disjoint slot per (round, walker); round-major, walker order.
+          (*diagnostics)[diag_base + r * W + i] =
+              w.CurrentDegreeForDiagnostic();
+        }
+      }
+    }
+  });
+}
+
+void CrawlScheduler::RunCoalescedRound(std::vector<double>* diagnostics) {
+  const size_t W = walkers_.size();
+  // Phase 1 (parallel): draw step targets; no fetches for two-phase walks.
+  pool_->Run([&](size_t t) {
+    auto [begin, end] = ThreadPool::BlockRange(W, pool_->size(), t);
+    for (size_t i = begin; i < end; ++i) {
+      Sampler& w = *walkers_[i];
+      proposals_[i] =
+          w.SupportsTwoPhaseStep() ? w.ProposeStep() : std::nullopt;
+    }
+  });
+  // Phase 2 (coordinator): fetch the deduplicated frontier in bulk. Only
+  // uncached targets go to the backend; the bulk endpoint chunks them into
+  // max_batch_size() ids per round trip.
+  frontier_.clear();
+  {
+    std::unordered_set<NodeId> seen;
+    for (size_t i = 0; i < W; ++i) {
+      if (!proposals_[i]) continue;
+      const NodeId v = *proposals_[i];
+      if (!interface_->IsCached(v) && seen.insert(v).second) {
+        frontier_.push_back(v);
+      }
+    }
+  }
+  if (!frontier_.empty()) interface_->BatchQuery(frontier_);
+  // Phase 3 (parallel): commit against the now-warm cache; walks without
+  // two-phase support take their whole step here.
+  size_t diag_base = 0;
+  if (diagnostics != nullptr) {
+    diag_base = diagnostics->size();
+    diagnostics->resize(diag_base + W);
+  }
+  pool_->Run([&](size_t t) {
+    auto [begin, end] = ThreadPool::BlockRange(W, pool_->size(), t);
+    for (size_t i = begin; i < end; ++i) {
+      Sampler& w = *walkers_[i];
+      if (w.SupportsTwoPhaseStep()) {
+        if (proposals_[i]) w.CommitStep(*proposals_[i]);
+      } else {
+        w.Step();
+      }
+      if (diagnostics != nullptr) {
+        (*diagnostics)[diag_base + i] = w.CurrentDegreeForDiagnostic();
+      }
+    }
+  });
+}
+
+std::vector<NodeId> CrawlScheduler::Positions() const {
+  std::vector<NodeId> out;
+  out.reserve(walkers_.size());
+  for (const auto& w : walkers_) out.push_back(w->current());
+  return out;
+}
+
+}  // namespace mto

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+#include "src/walk/sampler.h"
+
+namespace mto {
+
+/// Configuration of a CrawlScheduler.
+struct CrawlConfig {
+  /// Number of concurrent walkers (>= 1).
+  size_t num_walkers = 8;
+  /// Worker threads stepping them (>= 1). Walkers are statically sharded
+  /// across threads in contiguous blocks.
+  size_t num_threads = 1;
+  /// When true, every round runs in two phases: all walkers propose their
+  /// step targets (per-walker RNG, no fetches), the deduplicated frontier
+  /// is fetched through the interface's bulk endpoint, then all walkers
+  /// commit. This trades two extra barriers per round for coalesced backend
+  /// round trips — the winning mode when per-request latency dominates.
+  /// When false, walkers free-run between sync points via plain Step() —
+  /// the winning mode when the crawl is CPU-bound. Trajectories are
+  /// bit-identical either way.
+  bool coalesce_frontier = false;
+};
+
+/// Shards W walkers across a fixed thread pool, deterministically.
+///
+/// Determinism contract (the invariant parallel_walkers_test pins, extended
+/// to real threads): walker i's RNG is `Rng(seed).Fork(i)`, forked in index
+/// order at construction, and a walker's trajectory depends only on its own
+/// stream and the immutable network. Positions after any number of rounds —
+/// and everything derived from them in walker order, diagnostics and
+/// samples included — are therefore bit-identical for a fixed
+/// (seed, num_walkers) across num_threads = 1, 2, 8, ... and across both
+/// stepping modes. The shared cache only affects *cost*, never results.
+/// (A finite shared query budget breaks this: which walker wins the last
+/// queries then depends on thread interleaving. Budgets still cap cost
+/// exactly; they just void the bit-identity guarantee.)
+///
+/// The interface handed in must be safe for `num_threads` concurrent
+/// callers — i.e. a runtime/ConcurrentInterfaceCache unless num_threads
+/// is 1.
+class CrawlScheduler {
+ public:
+  /// Builds walker i over (`interface`, its forked rng, index i).
+  /// The factory chooses start nodes; it runs on the calling thread.
+  using WalkerFactory = std::function<std::unique_ptr<Sampler>(
+      RestrictedInterface& interface, Rng& rng, size_t walker_index)>;
+
+  CrawlScheduler(RestrictedInterface& interface, const CrawlConfig& config,
+                 uint64_t seed, const WalkerFactory& factory);
+  ~CrawlScheduler();
+
+  /// Advances every walker `rounds` steps. When `diagnostics` is non-null
+  /// it receives one CurrentDegreeForDiagnostic() value per walker per
+  /// round, round-major in walker order (appended; `rounds * size()`
+  /// values) — the multi-chain trace the estimation pipeline consumes.
+  void RunRounds(size_t rounds, std::vector<double>* diagnostics = nullptr);
+
+  size_t size() const { return walkers_.size(); }
+  size_t num_threads() const { return pool_->size(); }
+
+  /// Walker access — only between RunRounds calls (no walker is running).
+  Sampler& walker(size_t i) { return *walkers_.at(i); }
+
+  /// Current positions, in walker order.
+  std::vector<NodeId> Positions() const;
+
+  /// One weighted sample per walker in walker order, appended to the output
+  /// vectors; runs on the calling thread (deterministic collection order).
+  template <typename AttributeFn>
+  void Collect(AttributeFn attribute_of, std::vector<double>& values,
+               std::vector<double>& weights) {
+    for (auto& w : walkers_) {
+      values.push_back(attribute_of(*w));
+      weights.push_back(w->ImportanceWeight());
+    }
+  }
+
+  /// Total steps taken across all walkers (rounds * size()).
+  uint64_t total_steps() const { return total_steps_; }
+
+ private:
+  void RunFreeRounds(size_t rounds, std::vector<double>* diagnostics);
+  void RunCoalescedRound(std::vector<double>* diagnostics);
+
+  RestrictedInterface* interface_;
+  CrawlConfig config_;
+  std::vector<std::unique_ptr<Rng>> rngs_;  // outlive the walkers
+  std::vector<std::unique_ptr<Sampler>> walkers_;
+  std::unique_ptr<ThreadPool> pool_;
+  uint64_t total_steps_ = 0;
+
+  // Scratch for coalesced rounds (stable across rounds to avoid churn).
+  std::vector<std::optional<NodeId>> proposals_;
+  std::vector<NodeId> frontier_;
+};
+
+}  // namespace mto

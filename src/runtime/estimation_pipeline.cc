@@ -1,0 +1,81 @@
+#include "src/runtime/estimation_pipeline.h"
+
+#include <chrono>
+
+namespace mto {
+
+EstimationPipeline::EstimationPipeline(const Options& options)
+    : options_(options),
+      queue_(options.queue_capacity),
+      monitor_(options.geweke_threshold, options.geweke_min_length,
+               options.geweke_check_every) {
+  consumer_ = std::thread([this] { ConsumerLoop(); });
+}
+
+EstimationPipeline::~EstimationPipeline() { Finish(); }
+
+void EstimationPipeline::PushDiagnostics(std::span<const double> thetas) {
+  for (double theta : thetas) {
+    queue_.Push(Item{Item::Kind::kDiagnostic, theta, 0.0, 0});
+  }
+  pushed_diagnostics_ += thetas.size();
+}
+
+bool EstimationPipeline::ConvergedAfter(size_t num_observations) {
+  while (consumed_diagnostics_.load(std::memory_order_acquire) <
+         num_observations) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  const size_t at = converged_at_.load(std::memory_order_acquire);
+  return at != 0 && at <= num_observations;
+}
+
+void EstimationPipeline::PushSample(double value, double weight,
+                                    uint64_t query_cost) {
+  queue_.Push(Item{Item::Kind::kSample, value, weight, query_cost});
+}
+
+EstimationPipeline::Result EstimationPipeline::Finish() {
+  if (finished_) return result_;
+  finished_ = true;
+  queue_.Close();
+  consumer_.join();
+  result_.converged = converged_at_.load(std::memory_order_relaxed) != 0;
+  result_.converged_at = converged_at_.load(std::memory_order_relaxed);
+  result_.last_z = monitor_.last_z();
+  result_.num_diagnostics = consumed_diagnostics_.load(std::memory_order_relaxed);
+  result_.num_samples = num_samples_;
+  result_.estimate_valid = estimate_.Valid();
+  result_.estimate = estimate_.Valid() ? estimate_.Estimate() : 0.0;
+  result_.trace = std::move(trace_);
+  return result_;
+}
+
+void EstimationPipeline::ConsumerLoop() {
+  Item item;
+  while (queue_.Pop(item)) {
+    switch (item.kind) {
+      case Item::Kind::kDiagnostic: {
+        monitor_.Add(item.value);
+        const size_t n =
+            consumed_diagnostics_.load(std::memory_order_relaxed) + 1;
+        if (converged_at_.load(std::memory_order_relaxed) == 0 &&
+            monitor_.Converged()) {
+          converged_at_.store(n, std::memory_order_release);
+        }
+        consumed_diagnostics_.store(n, std::memory_order_release);
+        break;
+      }
+      case Item::Kind::kSample: {
+        if (item.weight > 0.0) estimate_.Add(item.value, item.weight);
+        ++num_samples_;
+        if (estimate_.Valid()) {
+          trace_.push_back({item.query_cost, estimate_.Estimate()});
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace mto

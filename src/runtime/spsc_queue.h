@@ -1,0 +1,110 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace mto {
+
+/// Bounded single-producer / single-consumer queue: a classic lock-free
+/// ring buffer (one atomic index per side, acquire/release pairing) with
+/// blocking convenience wrappers that back off by yielding then sleeping —
+/// the producer is a crawl coordinator pushing small PODs in bursts, the
+/// consumer an estimation thread, so microsecond-scale wakeup latency is
+/// irrelevant while walk-side push cost matters.
+///
+/// Exactly one thread may call the producer side (TryPush/Push/Close) and
+/// exactly one the consumer side (TryPop/Pop). `capacity` is rounded up to
+/// a power of two.
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(size_t capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument("SpscQueue: capacity must be >= 1");
+    }
+    size_t pow2 = 1;
+    while (pow2 < capacity) pow2 <<= 1;
+    slots_.resize(pow2);
+    mask_ = pow2 - 1;
+  }
+
+  /// Producer: enqueues unless full. Returns false when full.
+  bool TryPush(T value) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) > mask_) return false;
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer: enqueues, backing off while the queue is full.
+  void Push(T value) {
+    Backoff backoff;
+    while (!TryPush(std::move(value))) backoff.Wait();
+  }
+
+  /// Consumer: dequeues unless empty. Returns false when empty.
+  bool TryPop(T& out) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer: dequeues, backing off while empty. Returns false once the
+  /// queue is closed *and* fully drained.
+  bool Pop(T& out) {
+    Backoff backoff;
+    while (true) {
+      if (TryPop(out)) return true;
+      if (closed_.load(std::memory_order_acquire)) {
+        // Re-check: the producer may have pushed between TryPop and the
+        // closed_ load (Close happens-after the final Push).
+        return TryPop(out);
+      }
+      backoff.Wait();
+    }
+  }
+
+  /// Producer: signals end-of-stream. Pop drains then returns false.
+  void Close() { closed_.store(true, std::memory_order_release); }
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Racy size estimate (either side may call; diagnostics only).
+  size_t SizeApprox() const {
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    const size_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? tail - head : 0;
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  struct Backoff {
+    int spins = 0;
+    void Wait() {
+      if (spins < 64) {
+        ++spins;
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+  };
+
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  // Head/tail are free-running; slot index is (value & mask_).
+  alignas(64) std::atomic<size_t> head_{0};  // consumer side
+  alignas(64) std::atomic<size_t> tail_{0};  // producer side
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace mto

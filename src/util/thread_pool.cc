@@ -1,0 +1,84 @@
+#include "src/util/thread_pool.h"
+
+namespace mto {
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : num_threads_(num_threads == 0 ? 1 : num_threads) {
+  if (num_threads_ == 1) return;  // inline mode
+  workers_.reserve(num_threads_);
+  for (size_t i = 0; i < num_threads_; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  if (workers_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Run(const std::function<void(size_t)>& fn) {
+  if (workers_.empty()) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    remaining_ = num_threads_;
+    first_error_ = nullptr;
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return remaining_ == 0; });
+    job_ = nullptr;
+    error = first_error_;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  uint64_t seen_epoch = 0;
+  while (true) {
+    const std::function<void(size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] {
+        return shutting_down_ || epoch_ != seen_epoch;
+      });
+      if (shutting_down_) return;
+      seen_epoch = epoch_;
+      job = job_;
+    }
+    try {
+      (*job)(index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    bool last;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      last = (--remaining_ == 0);
+    }
+    if (last) done_cv_.notify_all();
+  }
+}
+
+std::pair<size_t, size_t> ThreadPool::BlockRange(size_t n, size_t parts,
+                                                 size_t part) {
+  const size_t base = n / parts;
+  const size_t extra = n % parts;
+  const size_t begin = part * base + (part < extra ? part : extra);
+  const size_t len = base + (part < extra ? 1 : 0);
+  return {begin, begin + len};
+}
+
+}  // namespace mto

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace mto {
+
+/// A fixed pool of worker threads executing "parallel regions": `Run(fn)`
+/// invokes `fn(thread_index)` once on every worker and returns when all
+/// invocations finished. Regions are the only synchronization primitive the
+/// crawl runtime needs — work is statically sharded by thread index, so
+/// there is no task queue to contend on.
+///
+/// With `num_threads <= 1` no threads are spawned and `Run` executes
+/// inline, which makes the single-threaded configuration a true baseline
+/// (no pool overhead) and keeps unit tests deterministic under sanitizers.
+///
+/// The first exception thrown inside a region is captured and rethrown
+/// from `Run` on the calling thread (remaining workers still finish the
+/// region).
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of parallel lanes (>= 1). fn receives indices [0, size()).
+  size_t size() const { return num_threads_; }
+
+  /// Executes `fn(i)` for every lane i and waits for completion.
+  /// Not reentrant: must be called from one coordinating thread at a time,
+  /// and never from inside a region.
+  void Run(const std::function<void(size_t)>& fn);
+
+  /// Contiguous block partition of [0, n) into `parts` near-equal ranges;
+  /// returns [begin, end) of range `part`. Empty ranges are valid.
+  static std::pair<size_t, size_t> BlockRange(size_t n, size_t parts,
+                                              size_t part);
+
+ private:
+  void WorkerLoop(size_t index);
+
+  size_t num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(size_t)>* job_ = nullptr;
+  uint64_t epoch_ = 0;        // incremented per region; workers wait on it
+  size_t remaining_ = 0;      // workers still running the current region
+  bool shutting_down_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace mto

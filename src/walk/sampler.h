@@ -1,5 +1,6 @@
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "src/net/restricted_interface.h"
@@ -27,6 +28,25 @@ class Sampler {
   /// query budget is exhausted mid-step the walk stays put; callers detect
   /// exhaustion via the interface.
   virtual NodeId Step() = 0;
+
+  /// Two-phase stepping for batched schedulers (runtime/CrawlScheduler):
+  /// `ProposeStep()` draws the step's target using the walk's own RNG but
+  /// does not fetch it, so a scheduler can coalesce many walkers' targets
+  /// into one bulk fetch before every walker runs `CommitStep(target)`.
+  /// The pair consumes exactly the RNG draws `Step()` would, in the same
+  /// order, so `Step()` and propose/commit produce bit-identical
+  /// trajectories. `ProposeStep()` returning std::nullopt means the walk
+  /// cannot move this round (isolated node or exhausted budget at the
+  /// current node); no commit follows.
+  /// Walks whose step logic cannot pre-announce its target (MTO's rewiring
+  /// loop, Random Jump's teleports) return false from
+  /// `SupportsTwoPhaseStep()` and are driven via plain `Step()`.
+  virtual bool SupportsTwoPhaseStep() const { return false; }
+  virtual std::optional<NodeId> ProposeStep() { return std::nullopt; }
+  virtual NodeId CommitStep(NodeId target) {
+    (void)target;
+    return current_;
+  }
 
   /// Current position of the walk.
   NodeId current() const { return current_; }

@@ -7,15 +7,23 @@ SimpleRandomWalk::SimpleRandomWalk(RestrictedInterface& interface, Rng& rng,
     : Sampler(interface, rng, start) {}
 
 NodeId SimpleRandomWalk::Step() {
+  auto target = ProposeStep();
+  return target ? CommitStep(*target) : current();
+}
+
+std::optional<NodeId> SimpleRandomWalk::ProposeStep() {
   auto r = interface().Query(current());
-  if (!r || r->neighbors.empty()) return current();
-  NodeId next =
-      r->neighbors[static_cast<size_t>(rng().UniformInt(r->neighbors.size()))];
-  // The move itself needs no information about `next` beyond its id; the
+  if (!r || r->neighbors.empty()) return std::nullopt;
+  return r->neighbors[static_cast<size_t>(
+      rng().UniformInt(r->neighbors.size()))];
+}
+
+NodeId SimpleRandomWalk::CommitStep(NodeId target) {
+  // The move itself needs no information about `target` beyond its id; the
   // next Step() queries it. Query eagerly anyway so the degree diagnostic
   // reflects the node we now stand on — this mirrors the paper where every
   // visited node costs one (unique) query.
-  if (interface().Query(next)) set_current(next);
+  if (interface().Query(target)) set_current(target);
   return current();
 }
 

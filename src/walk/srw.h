@@ -13,6 +13,9 @@ class SimpleRandomWalk final : public Sampler {
   SimpleRandomWalk(RestrictedInterface& interface, Rng& rng, NodeId start);
 
   NodeId Step() override;
+  bool SupportsTwoPhaseStep() const override { return true; }
+  std::optional<NodeId> ProposeStep() override;
+  NodeId CommitStep(NodeId target) override;
   double CurrentDegreeForDiagnostic() override;
   double ImportanceWeight() override;
   std::string name() const override { return "SRW"; }

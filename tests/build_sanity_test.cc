@@ -15,6 +15,7 @@
 #include "src/experiments/error_vs_cost.h"
 #include "src/experiments/harness.h"
 #include "src/experiments/latent_space_theory.h"
+#include "src/experiments/parallel_harness.h"
 #include "src/graph/builder.h"
 #include "src/graph/datasets.h"
 #include "src/graph/generators.h"
@@ -26,6 +27,10 @@
 #include "src/mcmc/stopping.h"
 #include "src/net/restricted_interface.h"
 #include "src/net/social_network.h"
+#include "src/runtime/concurrent_interface_cache.h"
+#include "src/runtime/crawl_scheduler.h"
+#include "src/runtime/estimation_pipeline.h"
+#include "src/runtime/spsc_queue.h"
 #include "src/spectral/conductance.h"
 #include "src/spectral/eigen.h"
 #include "src/spectral/mixing.h"
@@ -33,6 +38,7 @@
 #include "src/util/rng.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
+#include "src/util/thread_pool.h"
 #include "src/walk/mhrw.h"
 #include "src/walk/parallel_walkers.h"
 #include "src/walk/random_jump.h"

@@ -1,0 +1,165 @@
+#include "src/runtime/concurrent_interface_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/graph/generators.h"
+#include "src/net/social_network.h"
+
+namespace mto {
+namespace {
+
+TEST(ConcurrentInterfaceCacheTest, SingleThreadSemanticsMatchBase) {
+  SocialNetwork net(Barbell(4));
+  RestrictedInterface plain(net);
+  RestrictedInterface base(net);
+  ConcurrentInterfaceCache cache(base);
+
+  for (NodeId v : {0u, 1u, 0u, 5u, 1u}) {
+    auto expected = plain.Query(v);
+    auto actual = cache.Query(v);
+    ASSERT_TRUE(actual.has_value());
+    EXPECT_EQ(actual->user, expected->user);
+    EXPECT_EQ(actual->neighbors, expected->neighbors);
+  }
+  EXPECT_EQ(cache.QueryCost(), plain.QueryCost());
+  EXPECT_EQ(cache.TotalRequests(), plain.TotalRequests());
+  EXPECT_TRUE(cache.IsCached(0));
+  EXPECT_FALSE(cache.IsCached(7));
+  EXPECT_EQ(*cache.CachedDegree(5), net.graph().Degree(5));
+  EXPECT_FALSE(cache.CachedDegree(7).has_value());
+}
+
+TEST(ConcurrentInterfaceCacheTest, OutOfRangeIdsAreNotCachedAndThrow) {
+  SocialNetwork net(Cycle(6));
+  RestrictedInterface base(net);
+  ConcurrentInterfaceCache cache(base);
+  EXPECT_FALSE(cache.IsCached(1000000));
+  EXPECT_FALSE(cache.CachedDegree(1000000).has_value());
+  EXPECT_THROW(cache.Query(6), std::invalid_argument);
+}
+
+TEST(ConcurrentInterfaceCacheTest, ImportsWarmBaseCache) {
+  SocialNetwork net(Cycle(6));
+  RestrictedInterface base(net);
+  base.Query(3);
+  ConcurrentInterfaceCache cache(base);
+  EXPECT_TRUE(cache.IsCached(3));
+  cache.Query(3);
+  EXPECT_EQ(cache.QueryCost(), 1u);  // no re-pay for the warm node
+}
+
+TEST(ConcurrentInterfaceCacheTest, TakesOverLatencySimulation) {
+  SocialNetwork net(Cycle(6));
+  RestrictedInterface base(net);
+  base.SetSimulatedLatency(std::chrono::microseconds(100));
+  ConcurrentInterfaceCache cache(base);
+  EXPECT_EQ(base.simulated_latency().count(), 0);
+  EXPECT_EQ(cache.simulated_latency().count(), 100);
+}
+
+TEST(ConcurrentInterfaceCacheTest, OneUniqueQueryPerNodeUnderContention) {
+  // 8 threads race over the same node set, with enough simulated latency
+  // that fetches of one node genuinely overlap: the in-flight table must
+  // collapse every race to a single paid query.
+  SocialNetwork net(Complete(24));
+  RestrictedInterface base(net);
+  base.SetSimulatedLatency(std::chrono::microseconds(300));
+  ConcurrentInterfaceCache cache(base);
+
+  constexpr size_t kThreads = 8;
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &failures, &net] {
+      for (NodeId v = 0; v < net.num_users(); ++v) {
+        auto r = cache.Query(v);
+        if (!r || r->user != v) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(cache.QueryCost(), net.num_users());
+  EXPECT_EQ(cache.TotalRequests(), kThreads * net.num_users());
+}
+
+TEST(ConcurrentInterfaceCacheTest, BatchQueryDedupesAcrossRacingBatches) {
+  SocialNetwork net(Complete(32));
+  RestrictedInterface base(net);
+  base.SetSimulatedLatency(std::chrono::microseconds(200));
+  base.SetMaxBatchSize(8);
+  ConcurrentInterfaceCache cache(base);
+
+  // Two overlapping id ranges fetched from two threads simultaneously:
+  // cost must equal the union, each id answered in place.
+  std::vector<NodeId> first, second;
+  for (NodeId v = 0; v < 24; ++v) first.push_back(v);
+  for (NodeId v = 8; v < 32; ++v) second.push_back(v);
+  std::atomic<size_t> failures{0};
+  auto fetch = [&cache, &failures](const std::vector<NodeId>& ids) {
+    auto results = cache.BatchQuery(ids);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (!results[i] || results[i]->user != ids[i]) failures.fetch_add(1);
+    }
+  };
+  std::thread a(fetch, first), b(fetch, second);
+  a.join();
+  b.join();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(cache.QueryCost(), 32u);
+}
+
+TEST(ConcurrentInterfaceCacheTest, BudgetEnforcedExactlyAcrossThreads) {
+  SocialNetwork net(Complete(64));
+  RestrictedInterface base(net);
+  ConcurrentInterfaceCache cache(base);
+  constexpr uint64_t kBudget = 40;
+  cache.SetBudget(kBudget);
+
+  constexpr size_t kThreads = 8;
+  std::atomic<uint64_t> granted{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    // Disjoint id ranges: every successful query is a unique paid fetch.
+    threads.emplace_back([&cache, &granted, t] {
+      for (NodeId v = static_cast<NodeId>(t * 8);
+           v < static_cast<NodeId>(t * 8 + 8); ++v) {
+        if (cache.Query(v)) granted.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(cache.QueryCost(), kBudget);
+  EXPECT_EQ(granted.load(), kBudget);
+  // Cached nodes still answer after exhaustion; new nodes do not.
+  uint64_t hits = 0;
+  for (NodeId v = 0; v < 64; ++v) {
+    if (cache.IsCached(v)) {
+      EXPECT_TRUE(cache.Query(v).has_value());
+      ++hits;
+    }
+  }
+  EXPECT_EQ(hits, kBudget);
+  EXPECT_EQ(cache.QueryCost(), kBudget);
+}
+
+TEST(ConcurrentInterfaceCacheTest, ResetClearsWrapperAndBase) {
+  SocialNetwork net(Cycle(8));
+  RestrictedInterface base(net);
+  ConcurrentInterfaceCache cache(base);
+  cache.Query(1);
+  cache.Query(2);
+  cache.Reset();
+  EXPECT_EQ(cache.QueryCost(), 0u);
+  EXPECT_EQ(cache.TotalRequests(), 0u);
+  EXPECT_FALSE(cache.IsCached(1));
+  EXPECT_FALSE(base.IsCached(1));
+}
+
+}  // namespace
+}  // namespace mto

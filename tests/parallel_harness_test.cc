@@ -1,0 +1,111 @@
+#include "src/experiments/parallel_harness.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/graph/builder.h"
+#include "src/graph/generators.h"
+
+namespace mto {
+namespace {
+
+SocialNetwork TestNetwork() {
+  Rng rng(4242);
+  return SocialNetwork::WithSyntheticProfiles(
+      LargestComponent(HolmeKim(600, 3, 0.5, rng)), /*seed=*/7);
+}
+
+ParallelWalkConfig BaseConfig() {
+  ParallelWalkConfig config;
+  config.base.kind = SamplerKind::kSrw;
+  config.base.attribute = Attribute::kDegree;
+  config.base.geweke_min_length = 100;
+  config.base.geweke_check_every = 25;
+  config.base.max_burn_in_steps = 2000;
+  config.base.num_samples = 120;
+  config.base.thinning = 5;
+  config.num_walkers = 8;
+  return config;
+}
+
+TEST(ParallelHarnessTest, BitIdenticalAcrossThreadCountsAndModes) {
+  SocialNetwork net = TestNetwork();
+  ParallelWalkResult reference;
+  bool first = true;
+  for (size_t threads : {1u, 2u, 8u}) {
+    for (bool coalesce : {false, true}) {
+      ParallelWalkConfig config = BaseConfig();
+      config.num_threads = threads;
+      config.coalesce_frontier = coalesce;
+      ParallelWalkResult r =
+          ParallelRunAggregateEstimation(net, config, /*seed=*/31);
+      if (first) {
+        reference = r;
+        first = false;
+        EXPECT_TRUE(r.burn_in_converged);
+        EXPECT_FALSE(r.samples.empty());
+        continue;
+      }
+      EXPECT_EQ(r.samples, reference.samples)
+          << "threads " << threads << " coalesce " << coalesce;
+      EXPECT_EQ(r.burn_in_rounds, reference.burn_in_rounds);
+      EXPECT_EQ(r.total_query_cost, reference.total_query_cost);
+      ASSERT_EQ(r.trace.size(), reference.trace.size());
+      for (size_t i = 0; i < r.trace.size(); ++i) {
+        EXPECT_EQ(r.trace[i].query_cost, reference.trace[i].query_cost);
+        EXPECT_DOUBLE_EQ(r.trace[i].estimate, reference.trace[i].estimate);
+      }
+      EXPECT_DOUBLE_EQ(r.final_estimate, reference.final_estimate);
+    }
+  }
+}
+
+TEST(ParallelHarnessTest, EstimatesAverageDegreeReasonably) {
+  SocialNetwork net = TestNetwork();
+  ParallelWalkConfig config = BaseConfig();
+  config.num_threads = 4;
+  config.base.num_samples = 400;
+  ParallelWalkResult r = ParallelRunAggregateEstimation(net, config, 5);
+  EXPECT_TRUE(r.burn_in_converged);
+  EXPECT_GE(r.samples.size(), 400u);
+  const double truth = net.TrueAverageDegree();
+  EXPECT_LT(std::abs(r.final_estimate - truth) / truth, 0.35);
+  // Collection rounds * walkers samples, query costs monotone in the trace.
+  for (size_t i = 1; i < r.trace.size(); ++i) {
+    EXPECT_GE(r.trace[i].query_cost, r.trace[i - 1].query_cost);
+  }
+}
+
+TEST(ParallelHarnessTest, RunsMtoWalkersAndFreezesAfterBurnIn) {
+  SocialNetwork net = TestNetwork();
+  ParallelWalkConfig config = BaseConfig();
+  config.base.kind = SamplerKind::kMto;
+  config.num_walkers = 4;
+  config.num_threads = 4;
+  config.base.num_samples = 60;
+  ParallelWalkResult r = ParallelRunAggregateEstimation(net, config, 11);
+  EXPECT_FALSE(r.samples.empty());
+  EXPECT_GT(r.final_estimate, 0.0);
+  EXPECT_GT(r.total_query_cost, 0u);
+  EXPECT_LE(r.burn_in_query_cost, r.total_query_cost);
+}
+
+TEST(ParallelHarnessTest, SampleCountRoundsUpToWholeCollectionRounds) {
+  SocialNetwork net = TestNetwork();
+  ParallelWalkConfig config = BaseConfig();
+  config.base.num_samples = 10;  // not a multiple of 8 walkers
+  ParallelWalkResult r = ParallelRunAggregateEstimation(net, config, 3);
+  EXPECT_EQ(r.samples.size(), 16u);  // 2 rounds x 8 walkers
+}
+
+TEST(ParallelHarnessTest, RejectsRestartPerSample) {
+  SocialNetwork net(Cycle(8));
+  ParallelWalkConfig config;
+  config.base.restart_per_sample = true;
+  EXPECT_THROW(ParallelRunAggregateEstimation(net, config, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mto

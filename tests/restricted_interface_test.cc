@@ -79,6 +79,59 @@ TEST_F(RestrictedInterfaceTest, NumUsersPublic) {
   EXPECT_EQ(iface_.num_users(), 8u);
 }
 
+TEST_F(RestrictedInterfaceTest, OutOfRangeIdsAreSimplyNotCached) {
+  // Regression: IsCached/CachedDegree used to index cached_[v] unchecked,
+  // so any id >= num_users() was undefined behavior.
+  EXPECT_FALSE(iface_.IsCached(8));
+  EXPECT_FALSE(iface_.IsCached(0xFFFFFFFFu));
+  EXPECT_FALSE(iface_.CachedDegree(8).has_value());
+  EXPECT_FALSE(iface_.CachedDegree(0xFFFFFFFFu).has_value());
+}
+
+TEST_F(RestrictedInterfaceTest, BatchQueryCostsMatchPerIdQueries) {
+  std::vector<NodeId> ids = {0, 1, 1, 2, 0};
+  auto results = iface_.BatchQuery(ids);
+  ASSERT_EQ(results.size(), ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_TRUE(results[i].has_value());
+    EXPECT_EQ(results[i]->user, ids[i]);
+    EXPECT_EQ(results[i]->degree(), net_.graph().Degree(ids[i]));
+  }
+  EXPECT_EQ(iface_.QueryCost(), 3u);       // unique ids only
+  EXPECT_EQ(iface_.TotalRequests(), 5u);   // every id counted
+}
+
+TEST_F(RestrictedInterfaceTest, BatchQueryPaysOneRoundTripPerChunk) {
+  iface_.SetMaxBatchSize(3);
+  std::vector<NodeId> ids = {0, 1, 2, 3, 4, 5, 6};
+  iface_.BatchQuery(ids);
+  // 7 misses in chunks of 3 -> 3 round trips; re-fetching is free.
+  EXPECT_EQ(iface_.BackendRequests(), 3u);
+  iface_.BatchQuery(ids);
+  EXPECT_EQ(iface_.BackendRequests(), 3u);
+  // Single-user queries pay one trip per miss.
+  iface_.Query(7);
+  EXPECT_EQ(iface_.BackendRequests(), 4u);
+}
+
+TEST_F(RestrictedInterfaceTest, BatchQueryHonorsBudgetPerId) {
+  iface_.SetBudget(2);
+  std::vector<NodeId> ids = {0, 1, 2, 0};
+  auto results = iface_.BatchQuery(ids);
+  EXPECT_TRUE(results[0].has_value());
+  EXPECT_TRUE(results[1].has_value());
+  EXPECT_FALSE(results[2].has_value());  // budget ran out
+  EXPECT_TRUE(results[3].has_value());   // cached duplicate still answers
+  EXPECT_EQ(iface_.QueryCost(), 2u);
+}
+
+TEST_F(RestrictedInterfaceTest, BatchQueryRejectsUnknownIdsAndZeroBatch) {
+  std::vector<NodeId> ids = {0, 100};
+  EXPECT_THROW(iface_.BatchQuery(ids), std::invalid_argument);
+  EXPECT_EQ(iface_.QueryCost(), 0u);  // validated before any fetch
+  EXPECT_THROW(iface_.SetMaxBatchSize(0), std::invalid_argument);
+}
+
 TEST(RestrictedInterfaceProfileTest, ProfileSurfacedThroughQuery) {
   std::vector<UserProfile> profiles(3);
   profiles[2].description_length = 123;

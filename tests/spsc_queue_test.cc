@@ -1,0 +1,71 @@
+#include "src/runtime/spsc_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace mto {
+namespace {
+
+TEST(SpscQueueTest, FifoOrderSingleThread) {
+  SpscQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.TryPush(i));
+  int out = -1;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.TryPop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(q.TryPop(out));
+}
+
+TEST(SpscQueueTest, CapacityRoundedToPowerOfTwoAndBounded) {
+  SpscQueue<int> q(3);
+  EXPECT_EQ(q.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.TryPush(i));
+  EXPECT_FALSE(q.TryPush(99));  // full
+  int out;
+  ASSERT_TRUE(q.TryPop(out));
+  EXPECT_TRUE(q.TryPush(99));  // slot freed
+}
+
+TEST(SpscQueueTest, RejectsZeroCapacity) {
+  EXPECT_THROW(SpscQueue<int>(0), std::invalid_argument);
+}
+
+TEST(SpscQueueTest, PopDrainsAfterClose) {
+  SpscQueue<int> q(8);
+  q.Push(1);
+  q.Push(2);
+  q.Close();
+  int out;
+  EXPECT_TRUE(q.Pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(q.Pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(q.Pop(out));  // closed and drained
+}
+
+TEST(SpscQueueTest, TransfersEverythingAcrossThreads) {
+  // Small capacity forces both sides through their backoff paths.
+  SpscQueue<uint64_t> q(16);
+  constexpr uint64_t kItems = 100000;
+  uint64_t consumer_sum = 0;
+  uint64_t consumer_count = 0;
+  std::thread consumer([&] {
+    uint64_t v;
+    while (q.Pop(v)) {
+      consumer_sum += v;
+      ++consumer_count;
+    }
+  });
+  for (uint64_t i = 1; i <= kItems; ++i) q.Push(i);
+  q.Close();
+  consumer.join();
+  EXPECT_EQ(consumer_count, kItems);
+  EXPECT_EQ(consumer_sum, kItems * (kItems + 1) / 2);
+}
+
+}  // namespace
+}  // namespace mto

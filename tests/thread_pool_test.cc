@@ -1,0 +1,67 @@
+#include "src/util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace mto {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryLaneExactlyOnce) {
+  for (size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    ASSERT_EQ(pool.size(), threads);
+    std::vector<std::atomic<int>> hits(threads);
+    pool.Run([&](size_t t) { hits[t].fetch_add(1); });
+    pool.Run([&](size_t t) { hits[t].fetch_add(1); });
+    for (size_t t = 0; t < threads; ++t) EXPECT_EQ(hits[t].load(), 2);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOneInlineLane) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  int ran = 0;
+  pool.Run([&](size_t t) {
+    EXPECT_EQ(t, 0u);
+    ++ran;
+  });
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(ThreadPoolTest, BlockRangeCoversWithoutOverlap) {
+  for (size_t n : {0u, 1u, 7u, 8u, 9u, 100u}) {
+    for (size_t parts : {1u, 2u, 3u, 8u}) {
+      std::vector<int> covered(n, 0);
+      size_t expected_begin = 0;
+      for (size_t p = 0; p < parts; ++p) {
+        auto [begin, end] = ThreadPool::BlockRange(n, parts, p);
+        EXPECT_EQ(begin, expected_begin);
+        EXPECT_LE(begin, end);
+        for (size_t i = begin; i < end; ++i) ++covered[i];
+        expected_begin = end;
+      }
+      EXPECT_EQ(expected_begin, n);
+      EXPECT_EQ(std::accumulate(covered.begin(), covered.end(), 0u), n);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, RethrowsWorkerExceptionOnCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.Run([](size_t t) {
+        if (t == 2) throw std::runtime_error("lane 2 failed");
+      }),
+      std::runtime_error);
+  // The pool survives a throwing region.
+  std::atomic<int> ok{0};
+  pool.Run([&](size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 4);
+}
+
+}  // namespace
+}  // namespace mto
