@@ -57,6 +57,44 @@ std::unique_ptr<Sampler> MakeWalker(RestrictedInterface& iface, Rng& rng,
       iface, rng, static_cast<NodeId>(i % iface.num_users()));
 }
 
+/// The pre-QueryRef stepping path: identical RNG draws and trajectory to
+/// SimpleRandomWalk, but every step materializes QueryResult copies through
+/// `Query` (one neighbor-vector allocation per request, even on cache
+/// hits). Kept here to measure what the span-returning read path buys.
+class CopyingRandomWalk final : public Sampler {
+ public:
+  CopyingRandomWalk(RestrictedInterface& iface, Rng& rng, NodeId start)
+      : Sampler(iface, rng, start) {}
+
+  NodeId Step() override {
+    auto r = interface().Query(current());
+    if (!r || r->neighbors.empty()) return current();
+    const NodeId target = r->neighbors[static_cast<size_t>(
+        rng().UniformInt(r->neighbors.size()))];
+    if (interface().Query(target)) set_current(target);
+    return current();
+  }
+
+  double CurrentDegreeForDiagnostic() override {
+    auto r = interface().Query(current());
+    return r ? static_cast<double>(r->degree()) : 0.0;
+  }
+
+  double ImportanceWeight() override {
+    auto r = interface().Query(current());
+    if (!r || r->degree() == 0) return 0.0;
+    return 1.0 / static_cast<double>(r->degree());
+  }
+
+  std::string name() const override { return "SRW-copy"; }
+};
+
+std::unique_ptr<Sampler> MakeCopyingWalker(RestrictedInterface& iface,
+                                           Rng& rng, size_t i) {
+  return std::make_unique<CopyingRandomWalk>(
+      iface, rng, static_cast<NodeId>(i % iface.num_users()));
+}
+
 /// Single-threaded round-robin baseline: the pre-runtime execution model.
 Row RunBaseline(const SocialNetwork& net, size_t walkers, size_t rounds,
                 std::chrono::microseconds latency) {
@@ -93,7 +131,9 @@ Row RunBaseline(const SocialNetwork& net, size_t walkers, size_t rounds,
 
 Row RunScheduler(const SocialNetwork& net, size_t walkers, size_t threads,
                  size_t rounds, std::chrono::microseconds latency,
-                 size_t batch) {
+                 size_t batch,
+                 const CrawlScheduler::WalkerFactory& factory = MakeWalker,
+                 const char* mode_override = nullptr) {
   RestrictedInterface base(net);
   base.SetSimulatedLatency(latency);
   base.SetMaxBatchSize(batch == 0 ? 1 : batch);
@@ -102,14 +142,15 @@ Row RunScheduler(const SocialNetwork& net, size_t walkers, size_t threads,
   config.num_walkers = walkers;
   config.num_threads = threads;
   config.coalesce_frontier = batch > 0;
-  CrawlScheduler scheduler(session, config, kSeed, MakeWalker);
+  CrawlScheduler scheduler(session, config, kSeed, factory);
   const auto start = std::chrono::steady_clock::now();
   scheduler.RunRounds(rounds);
   const auto end = std::chrono::steady_clock::now();
 
   Row row;
   row.section = latency.count() > 0 ? "latency-bound" : "cpu-bound";
-  row.mode = batch > 0 ? "coalesced" : "free-run";
+  row.mode = mode_override != nullptr ? mode_override
+                                      : (batch > 0 ? "coalesced" : "free-run");
   row.walkers = walkers;
   row.threads = threads;
   row.batch = batch == 0 ? 1 : batch;
@@ -195,6 +236,13 @@ int main(int argc, char** argv) {
   for (size_t threads : {1u, 2u, 4u, 8u}) {
     cpu_rows.push_back(
         RunScheduler(net, walkers, threads, rounds, kNoLatency, 0));
+  }
+  // Hot-path ablation: the legacy copying read path (Query materializes a
+  // QueryResult per step) vs the default span-returning QueryRef path. Same
+  // trajectories, same cost — the delta is pure allocation overhead.
+  for (size_t threads : {1u, 8u}) {
+    cpu_rows.push_back(RunScheduler(net, walkers, threads, rounds, kNoLatency,
+                                    0, MakeCopyingWalker, "free-run-copy"));
   }
   PrintSection("CPU-bound (no simulated latency)", cpu_rows, cpu_base);
 

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 #include <thread>
+#include <unordered_set>
 
 namespace mto {
 
@@ -17,6 +18,10 @@ QueryResult RestrictedInterface::MakeResult(NodeId v) const {
   return r;
 }
 
+QueryView RestrictedInterface::MakeView(NodeId v) const {
+  return {v, &network_->profile(v), network_->graph().Neighbors(v)};
+}
+
 void RestrictedInterface::SimulateRoundTrip() {
   ++backend_requests_;
   if (simulated_latency_.count() > 0) {
@@ -24,18 +29,38 @@ void RestrictedInterface::SimulateRoundTrip() {
   }
 }
 
-std::optional<QueryResult> RestrictedInterface::Query(NodeId v) {
+void RestrictedInterface::FetchMisses(std::span<const NodeId> misses) {
+  // One round trip serves up to max_batch_size_ admitted misses; the trip
+  // is paid when its first miss is admitted.
+  size_t misses_in_trip = 0;
+  for (NodeId v : misses) {
+    if (BudgetExhausted()) return;
+    if (misses_in_trip == 0) SimulateRoundTrip();
+    misses_in_trip = (misses_in_trip + 1) % max_batch_size_;
+    MarkFetched(v);
+  }
+}
+
+bool RestrictedInterface::AdmitRequest(NodeId v, const char* what) {
   if (v >= network_->num_users()) {
-    throw std::invalid_argument("Query: unknown user id");
+    throw std::invalid_argument(std::string(what) + ": unknown user id");
   }
   ++total_requests_;
   if (!cached_[v]) {
-    if (budget_ && unique_queries_ >= *budget_) return std::nullopt;
-    SimulateRoundTrip();
-    cached_[v] = true;
-    ++unique_queries_;
+    const NodeId miss[1] = {v};
+    FetchMisses(miss);
   }
+  return cached_[v];
+}
+
+std::optional<QueryResult> RestrictedInterface::Query(NodeId v) {
+  if (!AdmitRequest(v, "Query")) return std::nullopt;
   return MakeResult(v);
+}
+
+std::optional<QueryView> RestrictedInterface::QueryRef(NodeId v) {
+  if (!AdmitRequest(v, "QueryRef")) return std::nullopt;
+  return MakeView(v);
 }
 
 std::vector<std::optional<QueryResult>> RestrictedInterface::BatchQuery(
@@ -45,21 +70,20 @@ std::vector<std::optional<QueryResult>> RestrictedInterface::BatchQuery(
       throw std::invalid_argument("BatchQuery: unknown user id");
     }
   }
-  std::vector<std::optional<QueryResult>> results(ids.size());
-  // One backend round trip serves up to max_batch_size_ cache misses; the
-  // trip is paid when its first miss is admitted.
-  size_t misses_in_trip = 0;
-  for (size_t i = 0; i < ids.size(); ++i) {
-    const NodeId v = ids[i];
-    ++total_requests_;
-    if (!cached_[v]) {
-      if (budget_ && unique_queries_ >= *budget_) continue;  // nullopt
-      if (misses_in_trip == 0) SimulateRoundTrip();
-      misses_in_trip = (misses_in_trip + 1) % max_batch_size_;
-      cached_[v] = true;
-      ++unique_queries_;
+  // Distinct cache-missing ids in first-appearance order; duplicates and
+  // hits are answered from cache without touching the backend.
+  std::vector<NodeId> misses;
+  {
+    std::unordered_set<NodeId> seen;
+    for (NodeId v : ids) {
+      ++total_requests_;
+      if (!cached_[v] && seen.insert(v).second) misses.push_back(v);
     }
-    results[i] = MakeResult(v);
+  }
+  if (!misses.empty()) FetchMisses(misses);
+  std::vector<std::optional<QueryResult>> results(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (cached_[ids[i]]) results[i] = MakeResult(ids[i]);
   }
   return results;
 }
@@ -79,6 +103,30 @@ void RestrictedInterface::SetMaxBatchSize(size_t max_batch_size) {
     throw std::invalid_argument("SetMaxBatchSize: batch size must be >= 1");
   }
   max_batch_size_ = max_batch_size;
+}
+
+SessionSnapshot RestrictedInterface::SnapshotSession() const {
+  SessionSnapshot snapshot;
+  for (NodeId v = 0; v < cached_.size(); ++v) {
+    if (cached_[v]) snapshot.cached_ids.push_back(v);
+  }
+  snapshot.unique_queries = unique_queries_;
+  snapshot.total_requests = total_requests_;
+  snapshot.backend_requests = backend_requests_;
+  return snapshot;
+}
+
+void RestrictedInterface::RestoreSession(const SessionSnapshot& snapshot) {
+  for (NodeId v : snapshot.cached_ids) {
+    if (v >= network_->num_users()) {
+      throw std::invalid_argument("RestoreSession: unknown user id");
+    }
+  }
+  cached_.assign(network_->num_users(), false);
+  for (NodeId v : snapshot.cached_ids) cached_[v] = true;
+  unique_queries_ = snapshot.unique_queries;
+  total_requests_ = snapshot.total_requests;
+  backend_requests_ = snapshot.backend_requests;
 }
 
 void RestrictedInterface::Reset() {

@@ -20,6 +20,28 @@ struct QueryResult {
   uint32_t degree() const { return static_cast<uint32_t>(neighbors.size()); }
 };
 
+/// Borrowed view of a query response: same information as QueryResult but
+/// pointing straight into the interface's immutable backing store, so cache
+/// hits cost zero allocations. Valid until the interface is destroyed.
+struct QueryView {
+  NodeId user = 0;
+  const UserProfile* profile = nullptr;
+  std::span<const NodeId> neighbors;
+
+  uint32_t degree() const { return static_cast<uint32_t>(neighbors.size()); }
+};
+
+/// Checkpointable session state: which users are cached plus the cost
+/// counters. `SnapshotSession`/`RestoreSession` round-trip it so a crawl can
+/// resume from disk with the exact ledger of an uninterrupted run (see
+/// src/service/checkpoint.h).
+struct SessionSnapshot {
+  std::vector<NodeId> cached_ids;  ///< ascending
+  uint64_t unique_queries = 0;
+  uint64_t total_requests = 0;
+  uint64_t backend_requests = 0;
+};
+
 /// The restrictive web interface of an online social network, as seen by a
 /// third-party sampler.
 ///
@@ -42,6 +64,16 @@ struct QueryResult {
 /// chunk of a `BatchQuery`) sleeps `simulated_latency()`, while cache hits
 /// stay free. `BackendRequests()` counts the round trips paid.
 ///
+/// `QueryRef` is the allocation-free variant of `Query` for hot loops: it
+/// returns a view into the backing store instead of copying the neighbor
+/// vector. Walk steps use it; code that stores responses uses `Query`.
+///
+/// Every cache-missing fetch — single or batched — funnels through the
+/// protected `FetchMisses` hook. The default implementation is the paper's
+/// one-perfect-backend model; src/service/BackendPool overrides it with a
+/// multi-backend fault/retry/failover model without touching the cache or
+/// cost-accounting logic here.
+///
 /// The query methods are virtual so schedulers can swap in a thread-safe
 /// session (runtime/ConcurrentInterfaceCache) without samplers noticing.
 /// This base class itself is single-threaded: concurrent calls on one
@@ -60,6 +92,11 @@ class RestrictedInterface {
   /// before. Returns std::nullopt when the query budget is exhausted and
   /// `v` is not cached.
   virtual std::optional<QueryResult> Query(NodeId v);
+
+  /// `Query` without the copy: identical semantics and cost accounting, but
+  /// the response borrows the interface's storage (valid until destruction).
+  /// The hot path for walk steps, which only ever read the response.
+  virtual std::optional<QueryView> QueryRef(NodeId v);
 
   /// Bulk endpoint: issues q(v) for every id, in order. Unique-query cost
   /// accounting is identical to calling `Query` per id; the difference is
@@ -115,6 +152,14 @@ class RestrictedInterface {
   virtual void SetMaxBatchSize(size_t max_batch_size);
   virtual size_t max_batch_size() const { return max_batch_size_; }
 
+  /// Copies out the checkpointable session state (cache + counters).
+  virtual SessionSnapshot SnapshotSession() const;
+
+  /// Restores a previously snapshotted session: every id in
+  /// `snapshot.cached_ids` becomes cached and the counters are overwritten.
+  /// Throws std::invalid_argument on out-of-range ids.
+  virtual void RestoreSession(const SessionSnapshot& snapshot);
+
   /// Clears the cache and counters (new sampler session).
   virtual void Reset();
 
@@ -127,10 +172,40 @@ class RestrictedInterface {
   /// implementations. `v` must be a valid id.
   QueryResult MakeResult(NodeId v) const;
 
+  /// Borrowed-view variant of MakeResult (no allocation).
+  QueryView MakeView(NodeId v) const;
+
+  /// Fetches distinct cache-missing ids from the backend, marking each
+  /// successfully fetched id cached (MarkFetched) as it lands. Ids left
+  /// uncached on return were refused (budget/backend exhaustion). The
+  /// default models one perfectly reliable backend: misses are admitted in
+  /// order until the budget runs out, one round trip per chunk of up to
+  /// `max_batch_size()` ids. Overridden by the multi-backend pool.
+  virtual void FetchMisses(std::span<const NodeId> misses);
+
+  /// True iff `v` is in the local cache (valid id required).
+  bool CacheTest(NodeId v) const { return cached_[v]; }
+
+  /// Records a successful fetch of `v`: caches it and charges one unit of
+  /// unique-query cost.
+  void MarkFetched(NodeId v) {
+    cached_[v] = true;
+    ++unique_queries_;
+  }
+
+  /// True iff a budget is set and spent.
+  bool BudgetExhausted() const {
+    return budget_.has_value() && unique_queries_ >= *budget_;
+  }
+
   /// Sleeps `simulated_latency()` once (one backend round trip).
   void SimulateRoundTrip();
 
  private:
+  /// Shared front half of Query/QueryRef: validates `v`, counts the
+  /// request, fetches on a miss. Returns true iff `v` is cached afterwards.
+  bool AdmitRequest(NodeId v, const char* what);
+
   const SocialNetwork* network_;
   std::vector<bool> cached_;
   uint64_t unique_queries_ = 0;

@@ -56,6 +56,30 @@ size_t ConcurrentInterfaceCache::max_batch_size() const {
   return base_->max_batch_size();
 }
 
+SessionSnapshot ConcurrentInterfaceCache::SnapshotSession() const {
+  SessionSnapshot snapshot;
+  {
+    std::lock_guard<std::mutex> lock(base_mutex_);
+    snapshot = base_->SnapshotSession();
+  }
+  snapshot.total_requests = total_requests_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+void ConcurrentInterfaceCache::RestoreSession(
+    const SessionSnapshot& snapshot) {
+  {
+    std::lock_guard<std::mutex> lock(base_mutex_);
+    base_->RestoreSession(snapshot);
+  }
+  const NodeId n = num_users();
+  for (NodeId v = 0; v < n; ++v) {
+    cached_flags_[v].store(base_->IsCached(v) ? 1 : 0,
+                           std::memory_order_relaxed);
+  }
+  total_requests_.store(snapshot.total_requests, std::memory_order_relaxed);
+}
+
 void ConcurrentInterfaceCache::Reset() {
   base_->Reset();
   const NodeId n = num_users();
@@ -108,6 +132,20 @@ std::optional<QueryResult> ConcurrentInterfaceCache::Query(NodeId v) {
   }
   ResolveFetch(v, r.has_value());
   return r;
+}
+
+std::optional<QueryView> ConcurrentInterfaceCache::QueryRef(NodeId v) {
+  if (v >= num_users()) {
+    throw std::invalid_argument("QueryRef: unknown user id");
+  }
+  // Hot path: a set flag plus the immutable network is enough to answer
+  // without locks or allocations.
+  if (cached_flags_[v].load(std::memory_order_acquire) != 0) {
+    total_requests_.fetch_add(1, std::memory_order_relaxed);
+    return MakeView(v);
+  }
+  if (!Query(v)) return std::nullopt;  // full miss machinery (counts itself)
+  return MakeView(v);
 }
 
 std::vector<std::optional<QueryResult>> ConcurrentInterfaceCache::BatchQuery(

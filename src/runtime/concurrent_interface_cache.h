@@ -50,6 +50,9 @@ class ConcurrentInterfaceCache final : public RestrictedInterface {
   explicit ConcurrentInterfaceCache(RestrictedInterface& base);
 
   std::optional<QueryResult> Query(NodeId v) override;
+  /// Allocation-free read path: cache hits return a borrowed view without
+  /// taking any lock; misses fall back to the full Query machinery.
+  std::optional<QueryView> QueryRef(NodeId v) override;
   std::vector<std::optional<QueryResult>> BatchQuery(
       std::span<const NodeId> ids) override;
   std::optional<uint32_t> CachedDegree(NodeId v) const override;
@@ -65,6 +68,14 @@ class ConcurrentInterfaceCache final : public RestrictedInterface {
   /// Bulk-chunking is performed by the wrapped session; forward to it.
   void SetMaxBatchSize(size_t max_batch_size) override;
   size_t max_batch_size() const override;
+
+  /// Session checkpointing (src/service): snapshots read the wrapped
+  /// ledger's state but report this wrapper's total-request counter (the
+  /// wrapped session never sees cache hits). RestoreSession forwards to the
+  /// wrapped session and re-imports its cache flags. Neither is safe while
+  /// walkers are running; call them only between scheduler rounds.
+  SessionSnapshot SnapshotSession() const override;
+  void RestoreSession(const SessionSnapshot& snapshot) override;
 
   /// Clears this cache and the wrapped session. Not thread-safe.
   void Reset() override;

@@ -120,6 +120,29 @@ void CrawlScheduler::RunCoalescedRound(std::vector<double>* diagnostics) {
   });
 }
 
+std::vector<CrawlScheduler::WalkerState> CrawlScheduler::SnapshotWalkers()
+    const {
+  std::vector<WalkerState> states;
+  states.reserve(walkers_.size());
+  for (size_t i = 0; i < walkers_.size(); ++i) {
+    states.push_back({walkers_[i]->current(), rngs_[i]->SaveState()});
+  }
+  return states;
+}
+
+void CrawlScheduler::RestoreWalkers(const std::vector<WalkerState>& states,
+                                    uint64_t total_steps) {
+  if (states.size() != walkers_.size()) {
+    throw std::invalid_argument(
+        "RestoreWalkers: walker count mismatch with snapshot");
+  }
+  for (size_t i = 0; i < walkers_.size(); ++i) {
+    walkers_[i]->Teleport(states[i].position);
+    rngs_[i]->RestoreState(states[i].rng_state);
+  }
+  total_steps_ = total_steps;
+}
+
 std::vector<NodeId> CrawlScheduler::Positions() const {
   std::vector<NodeId> out;
   out.reserve(walkers_.size());

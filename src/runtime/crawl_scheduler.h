@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -85,6 +86,26 @@ class CrawlScheduler {
 
   /// Total steps taken across all walkers (rounds * size()).
   uint64_t total_steps() const { return total_steps_; }
+
+  /// Checkpointable per-walker state. Captured and restored only between
+  /// RunRounds calls, where a walker's full state is its position plus its
+  /// RNG stream (samplers hold no other cross-round state; MTO's mutable
+  /// overlay is the exception and is rejected by the service layer).
+  struct WalkerState {
+    NodeId position = 0;
+    std::array<uint64_t, 4> rng_state{};
+  };
+
+  /// Snapshots every walker (position + RNG state), walker order.
+  std::vector<WalkerState> SnapshotWalkers() const;
+
+  /// Restores a snapshot taken from a scheduler with the same
+  /// (seed, num_walkers, factory): teleports each walker and overwrites its
+  /// RNG stream, and sets the step counter. Restored positions must already
+  /// be cached in the interface (RestoreSession runs first), so subsequent
+  /// steps replay exactly.
+  void RestoreWalkers(const std::vector<WalkerState>& states,
+                      uint64_t total_steps);
 
  private:
   void RunFreeRounds(size_t rounds, std::vector<double>* diagnostics);

@@ -1,0 +1,250 @@
+#include "src/service/backend_pool.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/rng.h"
+
+namespace mto {
+
+void BackendConfig::Validate() const {
+  if (rate_per_sec < 0.0) {
+    throw std::invalid_argument("BackendConfig: rate_per_sec must be >= 0");
+  }
+  if (rate_per_sec > 0.0 && burst < 1.0) {
+    throw std::invalid_argument("BackendConfig: burst must be >= 1");
+  }
+  if (latency_sigma < 0.0) {
+    throw std::invalid_argument("BackendConfig: latency_sigma must be >= 0");
+  }
+  if (timeout_rate < 0.0 || error_rate < 0.0 || quota_rate < 0.0 ||
+      timeout_rate + error_rate + quota_rate > 1.0) {
+    throw std::invalid_argument(
+        "BackendConfig: fault rates must be >= 0 and sum to <= 1");
+  }
+}
+
+const char* BackendSelectionName(BackendSelection selection) {
+  switch (selection) {
+    case BackendSelection::kSharded: return "sharded";
+    case BackendSelection::kRoundRobin: return "round_robin";
+    case BackendSelection::kLeastLoaded: return "least_loaded";
+    case BackendSelection::kBudgetAware: return "budget_aware";
+  }
+  return "?";
+}
+
+BackendPool::BackendPool(const SocialNetwork& network,
+                         std::vector<BackendConfig> backends,
+                         RetryPolicy retry, BackendSelection selection,
+                         uint64_t fault_seed)
+    : RestrictedInterface(network),
+      configs_(std::move(backends)),
+      retry_(retry),
+      selection_(selection),
+      fault_seed_(fault_seed) {
+  if (configs_.empty()) {
+    throw std::invalid_argument("BackendPool: need at least one backend");
+  }
+  retry_.Validate();
+  for (size_t b = 0; b < configs_.size(); ++b) {
+    configs_[b].Validate();
+    if (configs_[b].name.empty()) {
+      configs_[b].name = "key-" + std::to_string(b);
+    }
+  }
+  ledgers_.resize(configs_.size());
+  for (size_t b = 0; b < configs_.size(); ++b) {
+    ledgers_[b].bucket_tokens = configs_[b].burst;  // buckets start full
+  }
+}
+
+std::vector<BackendStats> BackendPool::AllBackendStats() const {
+  std::vector<BackendStats> stats;
+  stats.reserve(ledgers_.size());
+  for (const auto& ledger : ledgers_) stats.push_back(ledger.stats);
+  return stats;
+}
+
+uint64_t BackendPool::BackendRequests() const {
+  uint64_t total = 0;
+  for (const auto& ledger : ledgers_) total += ledger.stats.requests;
+  return total;
+}
+
+uint64_t BackendPool::SimulatedTimeUs() const {
+  uint64_t max_clock = 0;
+  for (const auto& ledger : ledgers_) {
+    max_clock = std::max(max_clock, ledger.clock_us);
+  }
+  return max_clock;
+}
+
+BackendPool::PoolSnapshot BackendPool::SnapshotBackends() const {
+  return {ledgers_, round_robin_cursor_, failed_fetches_};
+}
+
+void BackendPool::RestoreBackends(const PoolSnapshot& snapshot) {
+  if (snapshot.ledgers.size() != ledgers_.size()) {
+    throw std::invalid_argument(
+        "RestoreBackends: backend count mismatch with snapshot");
+  }
+  ledgers_ = snapshot.ledgers;
+  round_robin_cursor_ = snapshot.round_robin_cursor;
+  failed_fetches_ = snapshot.failed_fetches;
+}
+
+void BackendPool::Reset() {
+  RestrictedInterface::Reset();
+  for (size_t b = 0; b < ledgers_.size(); ++b) {
+    ledgers_[b] = BackendLedger{};
+    ledgers_[b].bucket_tokens = configs_[b].burst;
+  }
+  round_robin_cursor_ = 0;
+  failed_fetches_ = 0;
+}
+
+void BackendPool::SelectionOrder(NodeId v, std::vector<size_t>& order) {
+  const size_t n = configs_.size();
+  size_t primary = 0;
+  switch (selection_) {
+    case BackendSelection::kSharded:
+      primary = v % n;
+      break;
+    case BackendSelection::kRoundRobin:
+      primary = static_cast<size_t>(round_robin_cursor_++ % n);
+      break;
+    case BackendSelection::kLeastLoaded: {
+      uint64_t best = ledgers_[0].stats.requests;
+      for (size_t b = 1; b < n; ++b) {
+        if (ledgers_[b].stats.requests < best) {
+          best = ledgers_[b].stats.requests;
+          primary = b;
+        }
+      }
+      break;
+    }
+    case BackendSelection::kBudgetAware: {
+      auto remaining = [&](size_t b) -> uint64_t {
+        if (!configs_[b].budget) return UINT64_MAX;
+        const uint64_t spent = ledgers_[b].stats.unique_queries;
+        return *configs_[b].budget > spent ? *configs_[b].budget - spent : 0;
+      };
+      uint64_t best = remaining(0);
+      for (size_t b = 1; b < n; ++b) {
+        const uint64_t r = remaining(b);
+        if (r > best || (r == best && ledgers_[b].stats.unique_queries <
+                                          ledgers_[primary].stats.unique_queries)) {
+          best = r;
+          primary = b;
+        }
+      }
+      break;
+    }
+  }
+  order.clear();
+  for (size_t i = 0; i < n; ++i) order.push_back((primary + i) % n);
+}
+
+void BackendPool::PaceRequest(size_t b) {
+  const BackendConfig& config = configs_[b];
+  if (config.rate_per_sec <= 0.0) return;
+  BackendLedger& ledger = ledgers_[b];
+  const double rate_per_us = config.rate_per_sec / 1e6;
+  ledger.bucket_tokens = std::min(
+      config.burst, ledger.bucket_tokens +
+                        static_cast<double>(ledger.clock_us -
+                                            ledger.last_refill_us) *
+                            rate_per_us);
+  ledger.last_refill_us = ledger.clock_us;
+  if (ledger.bucket_tokens < 1.0) {
+    const uint64_t wait_us = static_cast<uint64_t>(
+        std::ceil((1.0 - ledger.bucket_tokens) / rate_per_us));
+    ledger.clock_us += wait_us;
+    ledger.bucket_tokens =
+        std::min(config.burst, ledger.bucket_tokens +
+                                   static_cast<double>(wait_us) * rate_per_us);
+    ledger.last_refill_us = ledger.clock_us;
+    ++ledger.stats.pacing_waits;
+    ledger.stats.simulated_us += wait_us;
+  }
+  ledger.bucket_tokens -= 1.0;
+}
+
+bool BackendPool::FetchOne(NodeId v) {
+  SelectionOrder(v, order_scratch_);
+  size_t attempt = 0;
+  for (size_t b : order_scratch_) {
+    const BackendConfig& config = configs_[b];
+    BackendLedger& ledger = ledgers_[b];
+    for (size_t a = 0; a < retry_.max_attempts_per_backend; ++a, ++attempt) {
+      if (config.budget &&
+          ledger.stats.unique_queries >= *config.budget) {
+        ++ledger.stats.budget_refusals;
+        break;  // this key is spent; fail over
+      }
+      PaceRequest(b);
+      // One pure-function stream per (backend, node, attempt): latency
+      // first, then the fault draw — arrival order never enters.
+      Rng stream = Rng(fault_seed_).Fork(b).Fork(v).Fork(attempt);
+      uint64_t latency_us = config.latency_mean_us;
+      if (config.latency_mean_us > 0 && config.latency_sigma > 0.0) {
+        const double sigma = config.latency_sigma;
+        const double mu =
+            std::log(static_cast<double>(config.latency_mean_us)) -
+            0.5 * sigma * sigma;  // keeps the mean at latency_mean_us
+        latency_us = static_cast<uint64_t>(stream.LogNormal(mu, sigma));
+      }
+      ledger.clock_us += latency_us;
+      ledger.stats.simulated_us += latency_us;
+      ++ledger.stats.requests;
+
+      const double u = stream.UniformDouble();
+      Fault fault = Fault::kNone;
+      if (u < config.timeout_rate) {
+        fault = Fault::kTimeout;
+      } else if (u < config.timeout_rate + config.error_rate) {
+        fault = Fault::kTransientError;
+      } else if (u < config.timeout_rate + config.error_rate +
+                         config.quota_rate) {
+        fault = Fault::kQuotaRejected;
+      }
+      if (fault == Fault::kNone) {
+        ++ledger.stats.unique_queries;
+        MarkFetched(v);
+        return true;
+      }
+      ++ledger.stats.failed_requests;
+      switch (fault) {
+        case Fault::kTimeout:
+          ++ledger.stats.timeouts;
+          ledger.clock_us += config.timeout_us;
+          ledger.stats.simulated_us += config.timeout_us;
+          break;
+        case Fault::kTransientError:
+          ++ledger.stats.transient_errors;
+          break;
+        case Fault::kQuotaRejected:
+          ++ledger.stats.quota_rejections;
+          break;
+        case Fault::kNone:
+          break;
+      }
+      const uint64_t backoff_us = retry_.BackoffUs(fault_seed_, v, attempt);
+      ledger.clock_us += backoff_us;
+      ledger.stats.simulated_us += backoff_us;
+    }
+  }
+  ++failed_fetches_;
+  return false;
+}
+
+void BackendPool::FetchMisses(std::span<const NodeId> misses) {
+  for (NodeId v : misses) {
+    if (BudgetExhausted()) return;  // pool-wide cap, same as the base model
+    FetchOne(v);
+  }
+}
+
+}  // namespace mto

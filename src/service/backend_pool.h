@@ -1,0 +1,182 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/net/restricted_interface.h"
+#include "src/service/retry_policy.h"
+
+namespace mto {
+
+/// One API backend (key/region): its quota, pacing, latency, and failure
+/// behavior. All randomness is drawn from pure-function streams keyed on
+/// (fault_seed, backend, node, attempt), so a backend's behavior toward a
+/// given fetch is identical across runs, thread interleavings, and
+/// checkpoint resume.
+struct BackendConfig {
+  std::string name;  ///< e.g. "key-0", "us-east"; defaulted if empty
+
+  /// Unique queries this backend may pay for; std::nullopt = unlimited.
+  std::optional<uint64_t> budget;
+
+  /// Token-bucket rate limit in requests per *simulated* second; 0 disables
+  /// pacing. `burst` is the bucket capacity in tokens (>= 1).
+  double rate_per_sec = 0.0;
+  double burst = 1.0;
+
+  /// Per-request latency: log-normal with this mean (in simulated
+  /// microseconds) and shape `latency_sigma` (0 = constant latency).
+  uint64_t latency_mean_us = 0;
+  double latency_sigma = 0.0;
+
+  /// Per-attempt fault probabilities (independent draws, must sum <= 1):
+  /// a timeout burns `timeout_us` of simulated time and fails; a transient
+  /// error fails fast; a quota rejection models 429-style throttling.
+  double timeout_rate = 0.0;
+  double error_rate = 0.0;
+  double quota_rate = 0.0;
+  uint64_t timeout_us = 50'000;
+
+  /// Throws std::invalid_argument on out-of-range fields.
+  void Validate() const;
+};
+
+/// Running counters of one backend.
+struct BackendStats {
+  uint64_t unique_queries = 0;  ///< unique fetches this backend paid for
+  uint64_t requests = 0;        ///< round trips, including failed attempts
+  uint64_t failed_requests = 0;
+  uint64_t timeouts = 0;
+  uint64_t transient_errors = 0;
+  uint64_t quota_rejections = 0;
+  uint64_t budget_refusals = 0;  ///< fetches turned away at the door
+  uint64_t pacing_waits = 0;     ///< requests the token bucket delayed
+  uint64_t simulated_us = 0;     ///< simulated time spent (latency + waits)
+};
+
+/// Checkpointable per-backend state: the stats plus the token bucket.
+struct BackendLedger {
+  BackendStats stats;
+  double bucket_tokens = 0.0;
+  uint64_t clock_us = 0;        ///< backend-local simulated clock
+  uint64_t last_refill_us = 0;  ///< bucket refill watermark on that clock
+};
+
+/// How the pool picks the backend that serves a cache miss. Failover walks
+/// the remaining backends from the selected one in index order.
+enum class BackendSelection {
+  /// Backend `v % N` serves node v. The only strategy whose per-backend
+  /// assignment is a pure function of the node id — and hence the one under
+  /// which per-backend costs are bit-identical across thread interleavings
+  /// (the ledger-sharding mode; see the class comment).
+  kSharded,
+  /// Rotating cursor over the backends (classic API-key rotation).
+  kRoundRobin,
+  /// The backend with the fewest requests so far.
+  kLeastLoaded,
+  /// The backend with the most remaining budget (unlimited counts as
+  /// infinite; ties break toward fewer unique queries, then lower index).
+  kBudgetAware,
+};
+
+const char* BackendSelectionName(BackendSelection selection);
+
+/// Multi-backend crawl session: a `RestrictedInterface` whose cache-missing
+/// fetches are served by N simulated backends with independent budgets,
+/// token-bucket rate pacing, latency distributions, and seeded fault
+/// injection, behind bounded-retry failover (RetryPolicy).
+///
+/// The cache, unique-cost accounting, and query semantics live unchanged in
+/// the base class; this class only overrides the `FetchMisses` hook. Every
+/// unique fetch costs one request on whichever backend ends up serving it —
+/// per-user endpoints under per-key quotas, the restricted-access regime
+/// the paper models. (Chunk amortization of `BatchQuery` is a property of
+/// the single-backend transport; a bulk endpoint with keyed quotas is
+/// modeled here by scaling a backend's rate/budget.)
+///
+/// Determinism: fault, latency, and jitter draws are pure functions of
+/// (fault_seed, backend, node, attempt) — never of arrival order — so
+/// whether a given node's fetch ultimately succeeds, and on which backend
+/// under kSharded selection, is independent of thread interleaving. Walker
+/// trajectories therefore stay bit-identical across thread counts and
+/// stepping modes even with faults injected, as long as no budget (pool- or
+/// backend-level) is exhausted mid-crawl — exhaustion order is the one
+/// interleaving-dependent quantity, the same caveat the plain budget
+/// carries (see CrawlScheduler).
+///
+/// Like the base class, a BackendPool is single-threaded; wrap it in a
+/// runtime/ConcurrentInterfaceCache to share it between walkers. Simulated
+/// time (latency, backoff, pacing) is charged to per-backend virtual
+/// clocks, not slept, so scenario sweeps run at full CPU speed.
+class BackendPool final : public RestrictedInterface {
+ public:
+  /// `backends` must be non-empty; configs are validated.
+  BackendPool(const SocialNetwork& network,
+              std::vector<BackendConfig> backends, RetryPolicy retry,
+              BackendSelection selection, uint64_t fault_seed);
+
+  size_t num_backends() const { return configs_.size(); }
+  const BackendConfig& backend_config(size_t b) const { return configs_[b]; }
+  const BackendStats& backend_stats(size_t b) const {
+    return ledgers_[b].stats;
+  }
+  std::vector<BackendStats> AllBackendStats() const;
+  BackendSelection selection() const { return selection_; }
+
+  /// Fetches permanently refused (all backends exhausted their attempts or
+  /// budgets). Each refusal left its node uncached; a later query retries.
+  uint64_t FailedFetches() const { return failed_fetches_; }
+
+  /// Round trips paid across all backends, including failed attempts.
+  uint64_t BackendRequests() const override;
+
+  /// Pool-wide simulated time: the max over backend clocks (backends run
+  /// in parallel in the simulation).
+  uint64_t SimulatedTimeUs() const;
+
+  /// Checkpointable pool state beyond the base-class session (which is
+  /// snapshotted separately via SnapshotSession).
+  struct PoolSnapshot {
+    std::vector<BackendLedger> ledgers;
+    uint64_t round_robin_cursor = 0;
+    uint64_t failed_fetches = 0;
+  };
+  PoolSnapshot SnapshotBackends() const;
+  /// Throws std::invalid_argument when the backend count mismatches.
+  void RestoreBackends(const PoolSnapshot& snapshot);
+
+  void Reset() override;
+
+ protected:
+  /// The multi-backend fetch path: each miss independently runs the
+  /// select → pace → latency → fault-draw → backoff/failover loop.
+  void FetchMisses(std::span<const NodeId> misses) override;
+
+ private:
+  enum class Fault { kNone, kTimeout, kTransientError, kQuotaRejected };
+
+  /// Order in which backends are tried for node v (primary first, then
+  /// failover in index order).
+  void SelectionOrder(NodeId v, std::vector<size_t>& order);
+
+  /// Runs the retry/failover loop for one node. Returns true and marks the
+  /// node fetched on success.
+  bool FetchOne(NodeId v);
+
+  /// Token-bucket pacing on the backend's virtual clock.
+  void PaceRequest(size_t b);
+
+  std::vector<BackendConfig> configs_;
+  std::vector<BackendLedger> ledgers_;
+  RetryPolicy retry_;
+  BackendSelection selection_;
+  uint64_t fault_seed_;
+  uint64_t round_robin_cursor_ = 0;
+  uint64_t failed_fetches_ = 0;
+  std::vector<size_t> order_scratch_;
+};
+
+}  // namespace mto

@@ -1,0 +1,220 @@
+#include "src/service/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace mto {
+namespace {
+
+constexpr char kMagic[8] = {'M', 'T', 'O', 'C', 'K', 'P', 'T', '\0'};
+
+// Fixed-width little-endian scalar I/O. The encode/decode loops are
+// byte-order independent, so checkpoints are portable across hosts.
+class Writer {
+ public:
+  explicit Writer(std::ostream& out) : out_(&out) {}
+
+  void U8(uint8_t v) { out_->put(static_cast<char>(v)); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) U8(static_cast<uint8_t>(v >> (8 * i)));
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) U8(static_cast<uint8_t>(v >> (8 * i)));
+  }
+  void F64(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+
+ private:
+  std::ostream* out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::istream& in) : in_(&in) {}
+
+  uint8_t U8() {
+    int c = in_->get();
+    if (c == EOF) throw std::runtime_error("checkpoint: truncated file");
+    return static_cast<uint8_t>(c);
+  }
+  uint32_t U32() {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(U8()) << (8 * i);
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(U8()) << (8 * i);
+    return v;
+  }
+  double F64() {
+    const uint64_t bits = U64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  /// Guards vector resizes against corrupted counts.
+  uint64_t Count(uint64_t sane_max) {
+    const uint64_t n = U64();
+    if (n > sane_max) throw std::runtime_error("checkpoint: implausible count");
+    return n;
+  }
+
+ private:
+  std::istream* in_;
+};
+
+constexpr uint64_t kMaxCount = uint64_t{1} << 33;  // corruption guard
+
+}  // namespace
+
+void ServiceCheckpoint::Save(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("checkpoint: cannot write " + tmp);
+    Writer w(out);
+    out.write(kMagic, sizeof(kMagic));
+    w.U32(kVersion);
+    w.U64(config_fingerprint);
+
+    w.U64(session.cached_ids.size());
+    for (NodeId v : session.cached_ids) w.U32(v);
+    w.U64(session.unique_queries);
+    w.U64(session.total_requests);
+    w.U64(session.backend_requests);
+
+    w.U64(ledgers.size());
+    for (const BackendLedger& ledger : ledgers) {
+      const BackendStats& s = ledger.stats;
+      w.U64(s.unique_queries);
+      w.U64(s.requests);
+      w.U64(s.failed_requests);
+      w.U64(s.timeouts);
+      w.U64(s.transient_errors);
+      w.U64(s.quota_rejections);
+      w.U64(s.budget_refusals);
+      w.U64(s.pacing_waits);
+      w.U64(s.simulated_us);
+      w.F64(ledger.bucket_tokens);
+      w.U64(ledger.clock_us);
+      w.U64(ledger.last_refill_us);
+    }
+    w.U64(round_robin_cursor);
+    w.U64(failed_fetches);
+
+    w.U64(walkers.size());
+    for (const auto& walker : walkers) {
+      w.U32(walker.position);
+      for (uint64_t word : walker.rng_state) w.U64(word);
+    }
+    w.U64(total_steps);
+
+    w.U8(static_cast<uint8_t>(phase));
+    w.U64(rounds);
+    w.U64(collection_rounds_done);
+    w.U8(burn_in_converged);
+    w.U64(burn_in_rounds);
+    w.U64(burn_in_query_cost);
+
+    w.U64(diagnostics.size());
+    for (double d : diagnostics) w.F64(d);
+    w.U64(samples.size());
+    for (const SampleRecord& sample : samples) {
+      w.F64(sample.value);
+      w.F64(sample.weight);
+      w.U64(sample.query_cost);
+      w.U32(sample.node);
+    }
+    // Flush + close before the rename so buffered-write errors surface
+    // while the previous checkpoint is still intact on disk.
+    out.flush();
+    out.close();
+    if (!out) throw std::runtime_error("checkpoint: write failed on " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("checkpoint: cannot rename " + tmp + " to " +
+                             path);
+  }
+}
+
+ServiceCheckpoint ServiceCheckpoint::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("checkpoint: cannot read " + path);
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (in.gcount() != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("checkpoint: bad magic in " + path);
+  }
+  Reader r(in);
+  const uint32_t version = r.U32();
+  if (version != kVersion) {
+    throw std::runtime_error("checkpoint: unsupported version " +
+                             std::to_string(version));
+  }
+  ServiceCheckpoint ckpt;
+  ckpt.config_fingerprint = r.U64();
+
+  ckpt.session.cached_ids.resize(r.Count(kMaxCount));
+  for (NodeId& v : ckpt.session.cached_ids) v = r.U32();
+  ckpt.session.unique_queries = r.U64();
+  ckpt.session.total_requests = r.U64();
+  ckpt.session.backend_requests = r.U64();
+
+  ckpt.ledgers.resize(r.Count(1 << 20));
+  for (BackendLedger& ledger : ckpt.ledgers) {
+    BackendStats& s = ledger.stats;
+    s.unique_queries = r.U64();
+    s.requests = r.U64();
+    s.failed_requests = r.U64();
+    s.timeouts = r.U64();
+    s.transient_errors = r.U64();
+    s.quota_rejections = r.U64();
+    s.budget_refusals = r.U64();
+    s.pacing_waits = r.U64();
+    s.simulated_us = r.U64();
+    ledger.bucket_tokens = r.F64();
+    ledger.clock_us = r.U64();
+    ledger.last_refill_us = r.U64();
+  }
+  ckpt.round_robin_cursor = r.U64();
+  ckpt.failed_fetches = r.U64();
+
+  ckpt.walkers.resize(r.Count(1 << 24));
+  for (auto& walker : ckpt.walkers) {
+    walker.position = r.U32();
+    for (uint64_t& word : walker.rng_state) word = r.U64();
+  }
+  ckpt.total_steps = r.U64();
+
+  const uint8_t phase = r.U8();
+  if (phase > static_cast<uint8_t>(CrawlPhase::kDone)) {
+    throw std::runtime_error("checkpoint: bad phase byte");
+  }
+  ckpt.phase = static_cast<CrawlPhase>(phase);
+  ckpt.rounds = r.U64();
+  ckpt.collection_rounds_done = r.U64();
+  ckpt.burn_in_converged = r.U8();
+  ckpt.burn_in_rounds = r.U64();
+  ckpt.burn_in_query_cost = r.U64();
+
+  ckpt.diagnostics.resize(r.Count(kMaxCount));
+  for (double& d : ckpt.diagnostics) d = r.F64();
+  ckpt.samples.resize(r.Count(kMaxCount));
+  for (SampleRecord& sample : ckpt.samples) {
+    sample.value = r.F64();
+    sample.weight = r.F64();
+    sample.query_cost = r.U64();
+    sample.node = r.U32();
+  }
+  return ckpt;
+}
+
+}  // namespace mto

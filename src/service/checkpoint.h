@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/net/restricted_interface.h"
+#include "src/runtime/crawl_scheduler.h"
+#include "src/service/backend_pool.h"
+
+namespace mto {
+
+/// Phase of a CrawlService run, serialized in checkpoints.
+enum class CrawlPhase : uint8_t { kBurnIn = 0, kSampling = 1, kDone = 2 };
+
+/// Complete on-disk image of a crawl-service session, sufficient to resume
+/// bit-identically: the interface-cache contents and cost counters, every
+/// backend's ledger (stats + token bucket), every walker's position and RNG
+/// state, the driver's progress, and the full prefix of the estimation
+/// streams (diagnostics and weighted samples). On resume the streams are
+/// replayed into a fresh EstimationPipeline — its state after n items is a
+/// pure function of the stream prefix, so replay reproduces the exact
+/// Geweke verdicts, running estimate, and trace (see DESIGN.md §7).
+///
+/// Format: little-endian binary, magic "MTOCKPT" + version. A fingerprint
+/// of the scenario (ScenarioConfig::Fingerprint) guards against resuming
+/// under a different configuration.
+struct ServiceCheckpoint {
+  static constexpr uint32_t kVersion = 1;
+
+  uint64_t config_fingerprint = 0;
+
+  // Session: shared cache + cost ledger (wrapper-level totals).
+  SessionSnapshot session;
+
+  // Backend pool extras.
+  std::vector<BackendLedger> ledgers;
+  uint64_t round_robin_cursor = 0;
+  uint64_t failed_fetches = 0;
+
+  // Walkers.
+  std::vector<CrawlScheduler::WalkerState> walkers;
+  uint64_t total_steps = 0;
+
+  // Driver progress.
+  CrawlPhase phase = CrawlPhase::kBurnIn;
+  uint64_t rounds = 0;
+  uint64_t collection_rounds_done = 0;
+  uint8_t burn_in_converged = 0;
+  uint64_t burn_in_rounds = 0;
+  uint64_t burn_in_query_cost = 0;
+
+  // Estimation-stream prefix, replayed on resume.
+  std::vector<double> diagnostics;
+  struct SampleRecord {
+    double value = 0.0;
+    double weight = 0.0;
+    uint64_t query_cost = 0;
+    NodeId node = 0;
+  };
+  std::vector<SampleRecord> samples;
+
+  /// Writes the checkpoint atomically (tmp file + rename) so a crash while
+  /// saving never corrupts the previous checkpoint. Throws
+  /// std::runtime_error on I/O failure.
+  void Save(const std::string& path) const;
+
+  /// Loads and validates magic/version/structure. Throws
+  /// std::runtime_error on I/O errors, corruption, or version mismatch.
+  static ServiceCheckpoint Load(const std::string& path);
+};
+
+}  // namespace mto

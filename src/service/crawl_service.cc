@@ -1,0 +1,222 @@
+#include "src/service/crawl_service.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/graph/datasets.h"
+
+namespace mto {
+namespace {
+
+/// Profile seed is a function of nothing but this constant so ground truth
+/// depends only on the dataset, not on the crawl seed.
+constexpr uint64_t kProfileSeed = 0x50C1A1;
+
+}  // namespace
+
+CrawlService::CrawlService(const ScenarioConfig& config)
+    : config_(config),
+      network_(SocialNetwork::WithSyntheticProfiles(
+          MakeDataset(config.dataset), kProfileSeed)) {
+  config_.Validate();
+
+  std::vector<BackendConfig> backends = config_.backends;
+  if (backends.empty()) backends.push_back(BackendConfig{});  // perfect key
+  pool_ = std::make_unique<BackendPool>(network_, std::move(backends),
+                                        config_.retry, config_.strategy,
+                                        config_.fault_seed);
+  if (config_.total_budget > 0) pool_->SetBudget(config_.total_budget);
+  session_ = std::make_unique<ConcurrentInterfaceCache>(*pool_);
+
+  CrawlConfig crawl;
+  crawl.num_walkers = config_.num_walkers;
+  crawl.num_threads = config_.num_threads;
+  crawl.coalesce_frontier = config_.coalesce_frontier;
+  scheduler_ = std::make_unique<CrawlScheduler>(
+      *session_, crawl, config_.seed,
+      [this](RestrictedInterface& iface, Rng& rng, size_t) {
+        // Walker i's start is the first draw of its own (seed, i) stream,
+        // exactly like the parallel harness.
+        const NodeId start =
+            static_cast<NodeId>(rng.UniformInt(network_.num_users()));
+        return MakeSampler(config_.sampler, iface, rng, start, MtoConfig{},
+                           config_.jump_probability);
+      });
+
+  EstimationPipeline::Options options;
+  options.geweke_threshold = config_.geweke_threshold;
+  options.geweke_min_length = config_.geweke_min_length;
+  options.geweke_check_every = config_.geweke_check_every;
+  options.queue_capacity = config_.queue_capacity;
+  pipeline_ = std::make_unique<EstimationPipeline>(options);
+
+  collection_rounds_target_ =
+      (config_.num_samples + config_.num_walkers - 1) / config_.num_walkers;
+}
+
+CrawlService::~CrawlService() = default;
+
+void CrawlService::EndBurnIn() {
+  burn_in_rounds_ = rounds_;
+  burn_in_query_cost_ = session_->QueryCost();
+  // MTO chains sample from a frozen overlay (harness default); the service
+  // has no ablation knob for it.
+  for (size_t i = 0; i < scheduler_->size(); ++i) {
+    if (auto* mto = dynamic_cast<MtoSampler*>(&scheduler_->walker(i))) {
+      mto->FreezeTopology();
+    }
+  }
+  phase_ = CrawlPhase::kSampling;
+}
+
+void CrawlService::CollectionRound() {
+  const size_t W = config_.num_walkers;
+  if (collection_rounds_done_ > 0) {
+    scheduler_->RunRounds(config_.thinning);
+    rounds_ += config_.thinning;
+  }
+  for (size_t i = 0; i < W; ++i) {
+    Sampler& walker = scheduler_->walker(i);
+    ServiceCheckpoint::SampleRecord record;
+    record.node = walker.current();
+    record.value = AttributeValue(walker, config_.attribute);
+    record.weight = walker.ImportanceWeight();
+    record.query_cost = session_->QueryCost();
+    pipeline_->PushSample(record.value, record.weight, record.query_cost);
+    samples_stream_.push_back(record);
+  }
+  ++collection_rounds_done_;
+  if (collection_rounds_done_ >= collection_rounds_target_) {
+    phase_ = CrawlPhase::kDone;
+  }
+}
+
+bool CrawlService::Advance() {
+  if (phase_ == CrawlPhase::kDone) return false;
+  started_ = true;
+  if (phase_ == CrawlPhase::kBurnIn) {
+    const size_t epoch = std::max<size_t>(1, config_.geweke_check_every);
+    const size_t chunk =
+        std::min(epoch, config_.max_burn_in_rounds - rounds_);
+    if (chunk > 0 && !burn_in_converged_) {
+      diag_scratch_.clear();
+      scheduler_->RunRounds(chunk, &diag_scratch_);
+      pipeline_->PushDiagnostics(diag_scratch_);
+      diagnostics_stream_.insert(diagnostics_stream_.end(),
+                                 diag_scratch_.begin(), diag_scratch_.end());
+      rounds_ += chunk;
+      // Epoch-boundary decision on a fully-consumed prefix: a pure
+      // function of the diagnostic stream (see EstimationPipeline).
+      burn_in_converged_ =
+          pipeline_->ConvergedAfter(rounds_ * config_.num_walkers);
+    }
+    if (burn_in_converged_ || rounds_ >= config_.max_burn_in_rounds) {
+      EndBurnIn();
+    }
+    return true;
+  }
+  CollectionRound();
+  return true;
+}
+
+ServiceResult CrawlService::Run() {
+  size_t units = 0;
+  while (Advance()) {
+    ++units;
+    if (config_.checkpoint.every_units > 0 &&
+        units % config_.checkpoint.every_units == 0 && !Done()) {
+      SaveCheckpoint(config_.checkpoint.path);
+    }
+  }
+  return Finish();
+}
+
+ServiceResult CrawlService::Finish() {
+  if (!finished_) {
+    const EstimationPipeline::Result estimation = pipeline_->Finish();
+    result_.samples.reserve(samples_stream_.size());
+    for (const auto& record : samples_stream_) {
+      result_.samples.push_back(record.node);
+    }
+    result_.trace.reserve(estimation.trace.size());
+    for (const auto& point : estimation.trace) {
+      result_.trace.push_back({point.query_cost, point.estimate});
+    }
+    result_.final_estimate = estimation.estimate;
+    result_.burn_in_converged = burn_in_converged_;
+    result_.burn_in_rounds = burn_in_rounds_;
+    result_.burn_in_query_cost = burn_in_query_cost_;
+    result_.total_rounds = rounds_;
+    result_.total_steps = scheduler_->total_steps();
+    result_.total_query_cost = session_->QueryCost();
+    result_.backend_requests = session_->BackendRequests();
+    result_.failed_fetches = pool_->FailedFetches();
+    result_.simulated_time_us = pool_->SimulatedTimeUs();
+    result_.backend_stats = pool_->AllBackendStats();
+    finished_ = true;
+  }
+  return result_;
+}
+
+void CrawlService::SaveCheckpoint(const std::string& path) {
+  if (config_.sampler == SamplerKind::kMto) {
+    throw std::invalid_argument(
+        "SaveCheckpoint: the mto sampler's overlay is not checkpointable");
+  }
+  ServiceCheckpoint ckpt;
+  ckpt.config_fingerprint = config_.Fingerprint();
+  ckpt.session = session_->SnapshotSession();
+  const BackendPool::PoolSnapshot backends = pool_->SnapshotBackends();
+  ckpt.ledgers = backends.ledgers;
+  ckpt.round_robin_cursor = backends.round_robin_cursor;
+  ckpt.failed_fetches = backends.failed_fetches;
+  ckpt.walkers = scheduler_->SnapshotWalkers();
+  ckpt.total_steps = scheduler_->total_steps();
+  ckpt.phase = phase_;
+  ckpt.rounds = rounds_;
+  ckpt.collection_rounds_done = collection_rounds_done_;
+  ckpt.burn_in_converged = burn_in_converged_ ? 1 : 0;
+  ckpt.burn_in_rounds = burn_in_rounds_;
+  ckpt.burn_in_query_cost = burn_in_query_cost_;
+  ckpt.diagnostics = diagnostics_stream_;
+  ckpt.samples = samples_stream_;
+  ckpt.Save(path);
+}
+
+void CrawlService::LoadCheckpoint(const std::string& path) {
+  if (started_ || finished_) {
+    throw std::logic_error(
+        "LoadCheckpoint: restore requires a freshly constructed service");
+  }
+  const ServiceCheckpoint ckpt = ServiceCheckpoint::Load(path);
+  if (ckpt.config_fingerprint != config_.Fingerprint()) {
+    throw std::runtime_error(
+        "LoadCheckpoint: checkpoint was written by a different scenario");
+  }
+  session_->RestoreSession(ckpt.session);
+  pool_->RestoreBackends(
+      {ckpt.ledgers, ckpt.round_robin_cursor, ckpt.failed_fetches});
+  scheduler_->RestoreWalkers(ckpt.walkers, ckpt.total_steps);
+
+  // Replay the estimation streams: the pipeline's state after n items is a
+  // pure function of the stream prefix, so the resumed consumer reaches the
+  // exact state of the interrupted one.
+  if (!ckpt.diagnostics.empty()) {
+    pipeline_->PushDiagnostics(ckpt.diagnostics);
+  }
+  for (const auto& record : ckpt.samples) {
+    pipeline_->PushSample(record.value, record.weight, record.query_cost);
+  }
+
+  phase_ = ckpt.phase;
+  rounds_ = static_cast<size_t>(ckpt.rounds);
+  collection_rounds_done_ = static_cast<size_t>(ckpt.collection_rounds_done);
+  burn_in_converged_ = ckpt.burn_in_converged != 0;
+  burn_in_rounds_ = static_cast<size_t>(ckpt.burn_in_rounds);
+  burn_in_query_cost_ = ckpt.burn_in_query_cost;
+  diagnostics_stream_ = ckpt.diagnostics;
+  samples_stream_ = ckpt.samples;
+  started_ = true;
+}
+
+}  // namespace mto

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/experiments/harness.h"
+#include "src/runtime/concurrent_interface_cache.h"
+#include "src/runtime/crawl_scheduler.h"
+#include "src/runtime/estimation_pipeline.h"
+#include "src/service/backend_pool.h"
+#include "src/service/checkpoint.h"
+#include "src/service/scenario_config.h"
+
+namespace mto {
+
+/// Result of a crawl-service run: the parallel-harness result surface plus
+/// the service layer's fault/failover accounting.
+struct ServiceResult {
+  std::vector<NodeId> samples;    ///< node ids, round-major in walker order
+  std::vector<TracePoint> trace;  ///< running estimate after each sample
+  double final_estimate = 0.0;
+  bool burn_in_converged = false;
+  size_t burn_in_rounds = 0;
+  uint64_t burn_in_query_cost = 0;
+  size_t total_rounds = 0;
+  uint64_t total_steps = 0;
+  uint64_t total_query_cost = 0;
+  uint64_t backend_requests = 0;   ///< round trips incl. failed attempts
+  uint64_t failed_fetches = 0;     ///< fetches permanently refused
+  uint64_t simulated_time_us = 0;  ///< max over backend virtual clocks
+  std::vector<BackendStats> backend_stats;
+};
+
+/// The fault-tolerant crawl driver: wires a ScenarioConfig into a
+/// BackendPool (multi-backend session) behind a ConcurrentInterfaceCache,
+/// a CrawlScheduler (sharded walkers), and an EstimationPipeline (async
+/// Geweke + estimate), and drives burn-in then sampling in resumable units.
+///
+/// `Advance()` performs one unit — a burn-in epoch (geweke_check_every
+/// rounds) or one collection round — and every unit boundary is a valid
+/// checkpoint point: `SaveCheckpoint` captures the session, backend
+/// ledgers, walker positions + RNG states, driver progress, and the full
+/// estimation-stream prefix. A fresh service constructed from the same
+/// config can `LoadCheckpoint` and continue; the resumed run's samples,
+/// trace, estimate, and per-backend unique-query costs are bit-identical
+/// to an uninterrupted run (crawl_service_test pins this, including under
+/// multi-thread scheduling and injected faults; the caveats are the
+/// runtime's usual ones — exhausting a budget mid-crawl voids bit-identity,
+/// and the MTO sampler's mutable overlay is not checkpointable).
+class CrawlService {
+ public:
+  /// Builds the full stack; throws on invalid config or unknown dataset.
+  explicit CrawlService(const ScenarioConfig& config);
+  ~CrawlService();
+
+  CrawlService(const CrawlService&) = delete;
+  CrawlService& operator=(const CrawlService&) = delete;
+
+  const ScenarioConfig& config() const { return config_; }
+  const SocialNetwork& network() const { return network_; }
+  const BackendPool& pool() const { return *pool_; }
+  CrawlPhase phase() const { return phase_; }
+  size_t rounds() const { return rounds_; }
+
+  bool Done() const { return phase_ == CrawlPhase::kDone; }
+
+  /// One resumable unit of progress; returns false once the crawl is done.
+  bool Advance();
+
+  /// Runs to completion, saving a checkpoint every
+  /// `config.checkpoint.every_units` units when configured, then finalizes.
+  ServiceResult Run();
+
+  /// Finalizes (joins the estimation thread) and returns the result.
+  /// Idempotent. Callable before Done() for partial results.
+  ServiceResult Finish();
+
+  /// Saves a checkpoint at the current unit boundary. Throws for the MTO
+  /// sampler (mutable overlay state is not serialized).
+  void SaveCheckpoint(const std::string& path);
+
+  /// Restores a checkpoint into this *freshly constructed* service (no
+  /// Advance/Load yet), replaying the estimation streams. Throws
+  /// std::logic_error when the service already ran, std::runtime_error on
+  /// fingerprint mismatch or corrupt files.
+  void LoadCheckpoint(const std::string& path);
+
+ private:
+  void EndBurnIn();
+  void CollectionRound();
+
+  ScenarioConfig config_;
+  SocialNetwork network_;
+  std::unique_ptr<BackendPool> pool_;
+  std::unique_ptr<ConcurrentInterfaceCache> session_;
+  std::unique_ptr<CrawlScheduler> scheduler_;
+  std::unique_ptr<EstimationPipeline> pipeline_;
+
+  CrawlPhase phase_ = CrawlPhase::kBurnIn;
+  bool burn_in_converged_ = false;
+  size_t rounds_ = 0;
+  size_t burn_in_rounds_ = 0;
+  uint64_t burn_in_query_cost_ = 0;
+  size_t collection_rounds_done_ = 0;
+  size_t collection_rounds_target_ = 0;
+
+  // Estimation-stream prefix (checkpoint payload / replay source).
+  std::vector<double> diagnostics_stream_;
+  std::vector<ServiceCheckpoint::SampleRecord> samples_stream_;
+  std::vector<double> diag_scratch_;
+
+  bool started_ = false;  ///< any Advance or LoadCheckpoint happened
+  bool finished_ = false;
+  ServiceResult result_;
+};
+
+}  // namespace mto

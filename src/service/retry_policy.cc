@@ -1,0 +1,42 @@
+#include "src/service/retry_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/rng.h"
+
+namespace mto {
+
+void RetryPolicy::Validate() const {
+  if (max_attempts_per_backend == 0) {
+    throw std::invalid_argument(
+        "RetryPolicy: max_attempts_per_backend must be >= 1");
+  }
+  if (backoff_multiplier < 1.0) {
+    throw std::invalid_argument("RetryPolicy: backoff_multiplier must be >= 1");
+  }
+  if (jitter < 0.0 || jitter > 1.0) {
+    throw std::invalid_argument("RetryPolicy: jitter must be in [0, 1]");
+  }
+  if (max_backoff_us < base_backoff_us) {
+    throw std::invalid_argument(
+        "RetryPolicy: max_backoff_us must be >= base_backoff_us");
+  }
+}
+
+uint64_t RetryPolicy::BackoffUs(uint64_t jitter_seed, NodeId v,
+                                size_t attempt) const {
+  double delay = static_cast<double>(base_backoff_us) *
+                 std::pow(backoff_multiplier, static_cast<double>(attempt));
+  delay = std::min(delay, static_cast<double>(max_backoff_us));
+  if (jitter > 0.0) {
+    // Independent deterministic stream per (node, attempt): reproducible,
+    // yet decorrelated across walkers hitting the same backend fault.
+    Rng stream = Rng(jitter_seed).Fork(v).Fork(attempt);
+    delay *= 1.0 + jitter * (2.0 * stream.UniformDouble() - 1.0);
+  }
+  return static_cast<uint64_t>(delay);
+}
+
+}  // namespace mto

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/graph/graph.h"
+
+namespace mto {
+
+/// Bounded exponential backoff with deterministic jitter.
+///
+/// A fetch that fails on one backend is retried up to
+/// `max_attempts_per_backend` times there before the pool fails over to the
+/// next backend in its selection order (see BackendPool). Attempt k
+/// (0-based, counted across backends) backs off
+///
+///   min(max_backoff_us, base_backoff_us * backoff_multiplier^k)
+///
+/// scaled by a jitter factor in [1 - jitter, 1 + jitter]. The jitter draw
+/// comes from an `Rng::Fork` stream derived from (jitter_seed, node,
+/// attempt) alone — a pure function of its inputs — so retry schedules are
+/// bit-reproducible across runs, thread interleavings, and checkpoint
+/// resume, while still decorrelating competing walkers (no thundering
+/// herd after a shared fault).
+///
+/// Backoff is charged to the crawl's *simulated* clock (BackendStats), not
+/// slept: scenario sweeps explore retry economics at full CPU speed.
+struct RetryPolicy {
+  size_t max_attempts_per_backend = 3;
+  uint64_t base_backoff_us = 1000;
+  double backoff_multiplier = 2.0;
+  uint64_t max_backoff_us = 1'000'000;
+  /// Jitter fraction in [0, 1]: 0 = fully deterministic schedule, 0.5 =
+  /// each delay scaled by a uniform factor in [0.5, 1.5].
+  double jitter = 0.5;
+
+  /// Throws std::invalid_argument on out-of-range fields.
+  void Validate() const;
+
+  /// Backoff for global attempt `attempt` of fetching node `v`, in
+  /// simulated microseconds. Pure function of (policy, jitter_seed, v,
+  /// attempt).
+  uint64_t BackoffUs(uint64_t jitter_seed, NodeId v, size_t attempt) const;
+};
+
+}  // namespace mto

@@ -1,0 +1,288 @@
+#include "src/service/scenario_config.h"
+
+#include <cstring>
+#include <set>
+#include <stdexcept>
+
+namespace mto {
+namespace {
+
+/// FNV-1a over a byte-wise view of the values mixed into the fingerprint.
+class Fnv {
+ public:
+  void Mix(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ = (hash_ ^ ((v >> (8 * i)) & 0xFF)) * 0x100000001B3ULL;
+    }
+  }
+  void Mix(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    Mix(bits);
+  }
+  void Mix(const std::string& s) {
+    for (char c : s) hash_ = (hash_ ^ static_cast<uint8_t>(c)) * 0x100000001B3ULL;
+    Mix(static_cast<uint64_t>(s.size()));
+  }
+  uint64_t hash() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0xCBF29CE484222325ULL;
+};
+
+void CheckKeys(const JsonValue& obj, const char* where,
+               std::initializer_list<const char*> allowed) {
+  const std::set<std::string> allowed_set(allowed.begin(), allowed.end());
+  for (const auto& key : obj.Keys()) {
+    if (allowed_set.count(key) == 0) {
+      throw std::invalid_argument(std::string("ScenarioConfig: unknown key \"") +
+                                  key + "\" in " + where);
+    }
+  }
+}
+
+SamplerKind ParseSamplerKind(const std::string& s) {
+  if (s == "srw") return SamplerKind::kSrw;
+  if (s == "mhrw") return SamplerKind::kMhrw;
+  if (s == "random_jump" || s == "rj") return SamplerKind::kRandomJump;
+  if (s == "mto") return SamplerKind::kMto;
+  throw std::invalid_argument("ScenarioConfig: unknown sampler \"" + s + "\"");
+}
+
+Attribute ParseAttribute(const std::string& s) {
+  if (s == "degree") return Attribute::kDegree;
+  if (s == "description_length") return Attribute::kDescriptionLength;
+  if (s == "age") return Attribute::kAge;
+  throw std::invalid_argument("ScenarioConfig: unknown attribute \"" + s +
+                              "\"");
+}
+
+BackendSelection ParseSelection(const std::string& s) {
+  if (s == "sharded") return BackendSelection::kSharded;
+  if (s == "round_robin") return BackendSelection::kRoundRobin;
+  if (s == "least_loaded") return BackendSelection::kLeastLoaded;
+  if (s == "budget_aware") return BackendSelection::kBudgetAware;
+  throw std::invalid_argument("ScenarioConfig: unknown strategy \"" + s +
+                              "\"");
+}
+
+BackendConfig ParseBackend(const JsonValue& obj, size_t index) {
+  CheckKeys(obj, "backends[]",
+            {"name", "budget", "rate_per_sec", "burst", "latency_us",
+             "latency_sigma", "timeout_rate", "error_rate", "quota_rate",
+             "timeout_us"});
+  BackendConfig backend;
+  backend.name = obj.Has("name") ? obj.At("name").AsString()
+                                 : "key-" + std::to_string(index);
+  if (obj.Has("budget") && obj.At("budget").AsUint() > 0) {
+    backend.budget = obj.At("budget").AsUint();
+  }
+  if (obj.Has("rate_per_sec")) backend.rate_per_sec = obj.At("rate_per_sec").AsDouble();
+  if (obj.Has("burst")) backend.burst = obj.At("burst").AsDouble();
+  if (obj.Has("latency_us")) backend.latency_mean_us = obj.At("latency_us").AsUint();
+  if (obj.Has("latency_sigma")) backend.latency_sigma = obj.At("latency_sigma").AsDouble();
+  if (obj.Has("timeout_rate")) backend.timeout_rate = obj.At("timeout_rate").AsDouble();
+  if (obj.Has("error_rate")) backend.error_rate = obj.At("error_rate").AsDouble();
+  if (obj.Has("quota_rate")) backend.quota_rate = obj.At("quota_rate").AsDouble();
+  if (obj.Has("timeout_us")) backend.timeout_us = obj.At("timeout_us").AsUint();
+  backend.Validate();
+  return backend;
+}
+
+}  // namespace
+
+const char* SamplerKindKey(SamplerKind kind) {
+  switch (kind) {
+    case SamplerKind::kSrw: return "srw";
+    case SamplerKind::kMhrw: return "mhrw";
+    case SamplerKind::kRandomJump: return "random_jump";
+    case SamplerKind::kMto: return "mto";
+  }
+  return "?";
+}
+
+const char* AttributeKey(Attribute attribute) {
+  switch (attribute) {
+    case Attribute::kDegree: return "degree";
+    case Attribute::kDescriptionLength: return "description_length";
+    case Attribute::kAge: return "age";
+  }
+  return "?";
+}
+
+ScenarioConfig ScenarioConfig::FromJson(const JsonValue& root) {
+  CheckKeys(root, "the document",
+            {"dataset", "seed", "sampler", "attribute", "jump_probability",
+             "walkers", "threads", "coalesce_frontier", "queue_capacity",
+             "geweke", "max_burn_in_rounds", "num_samples", "thinning",
+             "total_budget", "backends", "strategy", "retry", "fault_seed",
+             "checkpoint"});
+  ScenarioConfig config;
+  if (root.Has("dataset")) config.dataset = root.At("dataset").AsString();
+  if (root.Has("seed")) config.seed = root.At("seed").AsUint();
+  if (root.Has("sampler")) {
+    config.sampler = ParseSamplerKind(root.At("sampler").AsString());
+  }
+  if (root.Has("attribute")) {
+    config.attribute = ParseAttribute(root.At("attribute").AsString());
+  }
+  if (root.Has("jump_probability")) {
+    config.jump_probability = root.At("jump_probability").AsDouble();
+  }
+  if (root.Has("walkers")) config.num_walkers = root.At("walkers").AsUint();
+  if (root.Has("threads")) config.num_threads = root.At("threads").AsUint();
+  if (root.Has("coalesce_frontier")) {
+    config.coalesce_frontier = root.At("coalesce_frontier").AsBool();
+  }
+  if (root.Has("queue_capacity")) {
+    config.queue_capacity = root.At("queue_capacity").AsUint();
+  }
+  if (root.Has("geweke")) {
+    const JsonValue& geweke = root.At("geweke");
+    CheckKeys(geweke, "geweke", {"threshold", "min_length", "check_every"});
+    if (geweke.Has("threshold")) {
+      config.geweke_threshold = geweke.At("threshold").AsDouble();
+    }
+    if (geweke.Has("min_length")) {
+      config.geweke_min_length = geweke.At("min_length").AsUint();
+    }
+    if (geweke.Has("check_every")) {
+      config.geweke_check_every = geweke.At("check_every").AsUint();
+    }
+  }
+  if (root.Has("max_burn_in_rounds")) {
+    config.max_burn_in_rounds = root.At("max_burn_in_rounds").AsUint();
+  }
+  if (root.Has("num_samples")) {
+    config.num_samples = root.At("num_samples").AsUint();
+  }
+  if (root.Has("thinning")) config.thinning = root.At("thinning").AsUint();
+  if (root.Has("total_budget")) {
+    config.total_budget = root.At("total_budget").AsUint();
+  }
+  if (root.Has("backends")) {
+    const auto& array = root.At("backends").AsArray();
+    for (size_t i = 0; i < array.size(); ++i) {
+      config.backends.push_back(ParseBackend(array[i], i));
+    }
+  }
+  if (root.Has("strategy")) {
+    config.strategy = ParseSelection(root.At("strategy").AsString());
+  }
+  if (root.Has("retry")) {
+    const JsonValue& retry = root.At("retry");
+    CheckKeys(retry, "retry",
+              {"max_attempts_per_backend", "base_backoff_us", "multiplier",
+               "max_backoff_us", "jitter"});
+    if (retry.Has("max_attempts_per_backend")) {
+      config.retry.max_attempts_per_backend =
+          retry.At("max_attempts_per_backend").AsUint();
+    }
+    if (retry.Has("base_backoff_us")) {
+      config.retry.base_backoff_us = retry.At("base_backoff_us").AsUint();
+    }
+    if (retry.Has("multiplier")) {
+      config.retry.backoff_multiplier = retry.At("multiplier").AsDouble();
+    }
+    if (retry.Has("max_backoff_us")) {
+      config.retry.max_backoff_us = retry.At("max_backoff_us").AsUint();
+    }
+    if (retry.Has("jitter")) config.retry.jitter = retry.At("jitter").AsDouble();
+  }
+  if (root.Has("fault_seed")) config.fault_seed = root.At("fault_seed").AsUint();
+  if (root.Has("checkpoint")) {
+    const JsonValue& checkpoint = root.At("checkpoint");
+    CheckKeys(checkpoint, "checkpoint", {"path", "every_units"});
+    if (checkpoint.Has("path")) {
+      config.checkpoint.path = checkpoint.At("path").AsString();
+    }
+    if (checkpoint.Has("every_units")) {
+      config.checkpoint.every_units = checkpoint.At("every_units").AsUint();
+    }
+  }
+  config.Validate();
+  return config;
+}
+
+ScenarioConfig ScenarioConfig::FromJsonText(std::string_view text) {
+  return FromJson(ParseJson(text));
+}
+
+ScenarioConfig ScenarioConfig::FromFile(const std::string& path) {
+  return FromJson(ParseJsonFile(path));
+}
+
+void ScenarioConfig::Validate() const {
+  if (num_walkers == 0) {
+    throw std::invalid_argument("ScenarioConfig: walkers must be >= 1");
+  }
+  if (num_threads == 0) {
+    throw std::invalid_argument("ScenarioConfig: threads must be >= 1");
+  }
+  if (num_samples == 0) {
+    throw std::invalid_argument("ScenarioConfig: num_samples must be >= 1");
+  }
+  if (queue_capacity == 0) {
+    throw std::invalid_argument("ScenarioConfig: queue_capacity must be >= 1");
+  }
+  if (jump_probability < 0.0 || jump_probability > 1.0) {
+    throw std::invalid_argument(
+        "ScenarioConfig: jump_probability must be in [0, 1]");
+  }
+  retry.Validate();
+  for (const auto& backend : backends) backend.Validate();
+  if (checkpoint.every_units > 0 && checkpoint.path.empty()) {
+    throw std::invalid_argument(
+        "ScenarioConfig: checkpoint.every_units set without checkpoint.path");
+  }
+  if (!checkpoint.path.empty() && sampler == SamplerKind::kMto) {
+    // The MTO overlay is mutable crawl state the checkpoint format does not
+    // (yet) serialize; resuming it would silently diverge.
+    throw std::invalid_argument(
+        "ScenarioConfig: checkpointing does not support the mto sampler");
+  }
+}
+
+uint64_t ScenarioConfig::Fingerprint() const {
+  Fnv fnv;
+  fnv.Mix(dataset);
+  fnv.Mix(seed);
+  fnv.Mix(static_cast<uint64_t>(sampler));
+  fnv.Mix(static_cast<uint64_t>(attribute));
+  fnv.Mix(jump_probability);
+  fnv.Mix(static_cast<uint64_t>(num_walkers));
+  fnv.Mix(geweke_threshold);
+  fnv.Mix(static_cast<uint64_t>(geweke_min_length));
+  fnv.Mix(static_cast<uint64_t>(geweke_check_every));
+  fnv.Mix(static_cast<uint64_t>(max_burn_in_rounds));
+  fnv.Mix(static_cast<uint64_t>(num_samples));
+  fnv.Mix(static_cast<uint64_t>(thinning));
+  fnv.Mix(total_budget);
+  fnv.Mix(static_cast<uint64_t>(strategy));
+  fnv.Mix(static_cast<uint64_t>(retry.max_attempts_per_backend));
+  fnv.Mix(retry.base_backoff_us);
+  fnv.Mix(retry.backoff_multiplier);
+  fnv.Mix(retry.max_backoff_us);
+  fnv.Mix(retry.jitter);
+  fnv.Mix(fault_seed);
+  fnv.Mix(static_cast<uint64_t>(backends.size()));
+  for (const auto& backend : backends) {
+    fnv.Mix(backend.name);
+    fnv.Mix(backend.budget.value_or(0));
+    fnv.Mix(backend.rate_per_sec);
+    fnv.Mix(backend.burst);
+    fnv.Mix(backend.latency_mean_us);
+    fnv.Mix(backend.latency_sigma);
+    fnv.Mix(backend.timeout_rate);
+    fnv.Mix(backend.error_rate);
+    fnv.Mix(backend.quota_rate);
+    fnv.Mix(backend.timeout_us);
+  }
+  // num_threads, coalesce_frontier, and queue_capacity are deliberately
+  // excluded: results are bit-identical across them (the runtime contract),
+  // so a checkpoint from a 1-thread run may resume on 8 threads.
+  return fnv.hash();
+}
+
+}  // namespace mto

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/experiments/harness.h"
+#include "src/service/backend_pool.h"
+#include "src/service/retry_policy.h"
+#include "src/util/json.h"
+
+namespace mto {
+
+/// Periodic checkpointing of a CrawlService run.
+struct CheckpointConfig {
+  std::string path;          ///< empty = checkpointing disabled
+  size_t every_units = 0;    ///< save every N Advance() units; 0 = disabled
+};
+
+/// Complete description of a crawl-service run, loadable from JSON: the
+/// dataset, the sampler and estimation parameters, the crawl-runtime shape
+/// (walkers/threads/stepping mode), the backend fleet with its retry and
+/// selection policies, and optional periodic checkpointing.
+///
+/// Strictness: unknown keys anywhere in the document are an error (config
+/// typos should fail loudly, not silently run a different scenario).
+/// Example document (all keys optional except none):
+///
+/// ```json
+/// {
+///   "dataset": "epinions_small",
+///   "seed": 42,
+///   "sampler": "srw",
+///   "attribute": "degree",
+///   "walkers": 16, "threads": 4, "coalesce_frontier": false,
+///   "geweke": {"threshold": 0.1, "min_length": 200, "check_every": 50},
+///   "max_burn_in_rounds": 2000,
+///   "num_samples": 200, "thinning": 25,
+///   "total_budget": 0,
+///   "strategy": "sharded",
+///   "fault_seed": 1337,
+///   "retry": {"max_attempts_per_backend": 3, "base_backoff_us": 1000,
+///             "multiplier": 2.0, "max_backoff_us": 100000, "jitter": 0.5},
+///   "backends": [
+///     {"name": "us-east", "budget": 0, "rate_per_sec": 50,
+///      "burst": 10, "latency_us": 200, "latency_sigma": 0.3,
+///      "timeout_rate": 0.02, "error_rate": 0.05, "quota_rate": 0.01,
+///      "timeout_us": 50000}
+///   ],
+///   "checkpoint": {"path": "crawl.ckpt", "every_units": 4}
+/// }
+/// ```
+struct ScenarioConfig {
+  std::string dataset = "epinions_small";
+  uint64_t seed = 1;
+  SamplerKind sampler = SamplerKind::kSrw;
+  Attribute attribute = Attribute::kDegree;
+  double jump_probability = 0.5;  ///< used when sampler == random_jump
+
+  size_t num_walkers = 8;
+  size_t num_threads = 1;
+  bool coalesce_frontier = false;
+  size_t queue_capacity = 4096;
+
+  double geweke_threshold = 0.1;
+  size_t geweke_min_length = 200;
+  size_t geweke_check_every = 50;
+  size_t max_burn_in_rounds = 2000;
+  size_t num_samples = 200;
+  size_t thinning = 25;
+
+  /// Pool-wide unique-query cap on top of per-backend budgets; 0 = none.
+  uint64_t total_budget = 0;
+  std::vector<BackendConfig> backends;  ///< empty = one perfect backend
+  BackendSelection strategy = BackendSelection::kSharded;
+  RetryPolicy retry;
+  uint64_t fault_seed = 0x5EED;
+
+  CheckpointConfig checkpoint;
+
+  /// Parses and validates; throws std::runtime_error (json errors) or
+  /// std::invalid_argument (semantic errors) with a descriptive message.
+  static ScenarioConfig FromJson(const JsonValue& root);
+  static ScenarioConfig FromJsonText(std::string_view text);
+  static ScenarioConfig FromFile(const std::string& path);
+
+  /// Semantic validation (ranges, sampler/checkpoint compatibility).
+  void Validate() const;
+
+  /// Stable hash of the fields that determine crawl behavior; stored in
+  /// checkpoints so resuming under a different scenario fails loudly.
+  uint64_t Fingerprint() const;
+};
+
+const char* SamplerKindKey(SamplerKind kind);
+const char* AttributeKey(Attribute attribute);
+
+}  // namespace mto

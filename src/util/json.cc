@@ -1,0 +1,285 @@
+#include "src/util/json.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mto {
+namespace {
+
+[[noreturn]] void TypeError(const char* want, JsonValue::Type got) {
+  static const char* kNames[] = {"null",   "bool",  "number",
+                                 "string", "array", "object"};
+  throw std::runtime_error(std::string("json: expected ") + want + ", got " +
+                           kNames[static_cast<int>(got)]);
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue ParseDocument() {
+    JsonValue v = ParseValue();
+    SkipWhitespace();
+    if (pos_ != text_.size()) Fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& what) {
+    std::ostringstream oss;
+    oss << "json parse error at offset " << pos_ << ": " << what;
+    throw std::runtime_error(oss.str());
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    if (pos_ >= text_.size()) Fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      Fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue ParseValue() {
+    SkipWhitespace();
+    switch (Peek()) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return JsonValue(ParseString());
+      case 't':
+        if (!ConsumeLiteral("true")) Fail("bad literal");
+        return JsonValue(true);
+      case 'f':
+        if (!ConsumeLiteral("false")) Fail("bad literal");
+        return JsonValue(false);
+      case 'n':
+        if (!ConsumeLiteral("null")) Fail("bad literal");
+        return JsonValue();
+      default:
+        return ParseNumber();
+    }
+  }
+
+  JsonValue ParseObject() {
+    Expect('{');
+    JsonValue obj = JsonValue::Object();
+    SkipWhitespace();
+    if (Peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key = ParseString();
+      SkipWhitespace();
+      Expect(':');
+      if (!obj.MutableObject().emplace(std::move(key), ParseValue()).second) {
+        Fail("duplicate object key");
+      }
+      SkipWhitespace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect('}');
+      return obj;
+    }
+  }
+
+  JsonValue ParseArray() {
+    Expect('[');
+    JsonValue arr = JsonValue::Array();
+    SkipWhitespace();
+    if (Peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.MutableArray().push_back(ParseValue());
+      SkipWhitespace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect(']');
+      return arr;
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) Fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) Fail("raw control character");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) Fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) Fail("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else Fail("bad \\u escape");
+          }
+          // Encode the BMP code point as UTF-8 (surrogates unsupported).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          Fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) Fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      pos_ = start;
+      Fail("malformed number");
+    }
+    return JsonValue(value);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool JsonValue::AsBool() const {
+  if (type_ != Type::kBool) TypeError("bool", type_);
+  return bool_;
+}
+
+double JsonValue::AsDouble() const {
+  if (type_ != Type::kNumber) TypeError("number", type_);
+  return number_;
+}
+
+uint64_t JsonValue::AsUint() const {
+  const double d = AsDouble();
+  // 2^64 exactly; casting doubles at or above it is undefined behavior.
+  if (d < 0.0 || d != std::floor(d) || d >= 18446744073709551616.0) {
+    throw std::runtime_error("json: expected a non-negative integer");
+  }
+  return static_cast<uint64_t>(d);
+}
+
+const std::string& JsonValue::AsString() const {
+  if (type_ != Type::kString) TypeError("string", type_);
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::AsArray() const {
+  if (type_ != Type::kArray) TypeError("array", type_);
+  return array_;
+}
+
+const std::map<std::string, JsonValue>& JsonValue::AsObject() const {
+  if (type_ != Type::kObject) TypeError("object", type_);
+  return object_;
+}
+
+const JsonValue& JsonValue::At(const std::string& key) const {
+  const auto& obj = AsObject();
+  auto it = obj.find(key);
+  if (it == obj.end()) {
+    throw std::runtime_error("json: missing key \"" + key + "\"");
+  }
+  return it->second;
+}
+
+bool JsonValue::Has(const std::string& key) const {
+  return type_ == Type::kObject && object_.count(key) != 0;
+}
+
+std::vector<JsonValue>& JsonValue::MutableArray() {
+  if (type_ != Type::kArray) TypeError("array", type_);
+  return array_;
+}
+
+std::map<std::string, JsonValue>& JsonValue::MutableObject() {
+  if (type_ != Type::kObject) TypeError("object", type_);
+  return object_;
+}
+
+std::vector<std::string> JsonValue::Keys() const {
+  std::vector<std::string> keys;
+  for (const auto& [key, value] : AsObject()) keys.push_back(key);
+  return keys;
+}
+
+JsonValue ParseJson(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+JsonValue ParseJsonFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("json: cannot read file " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseJson(buffer.str());
+}
+
+}  // namespace mto

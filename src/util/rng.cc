@@ -124,4 +124,15 @@ Rng Rng::Fork(uint64_t stream_id) {
   return Rng(mix);
 }
 
+std::array<uint64_t, 4> Rng::SaveState() const {
+  return {s_[0], s_[1], s_[2], s_[3]};
+}
+
+void Rng::RestoreState(const std::array<uint64_t, 4>& state) {
+  if ((state[0] | state[1] | state[2] | state[3]) == 0) {
+    throw std::invalid_argument("Rng::RestoreState: all-zero state");
+  }
+  for (size_t i = 0; i < 4; ++i) s_[i] = state[i];
+}
+
 }  // namespace mto

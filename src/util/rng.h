@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <stdexcept>
 #include <vector>
@@ -65,6 +66,14 @@ class Rng {
   /// generator's state and `stream_id`; used to give parallel experiment
   /// runs decorrelated but reproducible seeds.
   Rng Fork(uint64_t stream_id);
+
+  /// Raw xoshiro256** state, for checkpointing. RestoreState(SaveState())
+  /// round-trips exactly: the restored generator emits the identical stream.
+  std::array<uint64_t, 4> SaveState() const;
+
+  /// Overwrites the state with a previously saved one. An all-zero state is
+  /// invalid for xoshiro and is rejected with std::invalid_argument.
+  void RestoreState(const std::array<uint64_t, 4>& state);
 
  private:
   uint64_t s_[4];

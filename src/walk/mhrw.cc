@@ -12,7 +12,7 @@ NodeId MetropolisHastingsWalk::Step() {
 }
 
 std::optional<NodeId> MetropolisHastingsWalk::ProposeStep() {
-  auto u = interface().Query(current());
+  auto u = interface().QueryRef(current());
   if (!u || u->neighbors.empty()) return std::nullopt;
   proposal_source_degree_ = u->degree();
   return u->neighbors[static_cast<size_t>(
@@ -20,7 +20,7 @@ std::optional<NodeId> MetropolisHastingsWalk::ProposeStep() {
 }
 
 NodeId MetropolisHastingsWalk::CommitStep(NodeId target) {
-  auto v = interface().Query(target);
+  auto v = interface().QueryRef(target);
   if (!v) return current();  // budget exhausted
   double ku = static_cast<double>(proposal_source_degree_);
   double kv = static_cast<double>(v->degree());
@@ -30,7 +30,7 @@ NodeId MetropolisHastingsWalk::CommitStep(NodeId target) {
 }
 
 double MetropolisHastingsWalk::CurrentDegreeForDiagnostic() {
-  auto r = interface().Query(current());
+  auto r = interface().QueryRef(current());
   return r ? static_cast<double>(r->degree()) : 0.0;
 }
 

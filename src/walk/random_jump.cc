@@ -19,13 +19,13 @@ NodeId RandomJumpWalk::Step() {
     return current();
   }
   // MHRW step.
-  auto u = interface().Query(current());
+  auto u = interface().QueryRef(current());
   if (!u || u->neighbors.empty()) return current();
   NodeId proposal =
       u->neighbors[static_cast<size_t>(rng().UniformInt(u->neighbors.size()))];
-  auto v = interface().Query(proposal);
-  if (!v) return current();
   double ku = static_cast<double>(u->degree());
+  auto v = interface().QueryRef(proposal);
+  if (!v) return current();
   double kv = static_cast<double>(v->degree());
   if (kv <= 0.0) return current();
   if (rng().UniformDouble() < ku / kv) set_current(proposal);
@@ -33,7 +33,7 @@ NodeId RandomJumpWalk::Step() {
 }
 
 double RandomJumpWalk::CurrentDegreeForDiagnostic() {
-  auto r = interface().Query(current());
+  auto r = interface().QueryRef(current());
   return r ? static_cast<double>(r->degree()) : 0.0;
 }
 

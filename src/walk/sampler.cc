@@ -12,15 +12,15 @@ Sampler::Sampler(RestrictedInterface& interface, Rng& rng, NodeId start)
 }
 
 UserProfile Sampler::CurrentProfile() {
-  auto r = interface_->Query(current_);
+  auto r = interface_->QueryRef(current_);
   // current() is always a node the walk has already queried, so the cache
   // answers even under an exhausted budget.
   if (!r) throw std::logic_error("Sampler: current node not cached");
-  return r->profile;
+  return *r->profile;
 }
 
 uint32_t Sampler::CurrentDegree() {
-  auto r = interface_->Query(current_);
+  auto r = interface_->QueryRef(current_);
   if (!r) throw std::logic_error("Sampler: current node not cached");
   return r->degree();
 }

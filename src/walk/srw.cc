@@ -12,7 +12,7 @@ NodeId SimpleRandomWalk::Step() {
 }
 
 std::optional<NodeId> SimpleRandomWalk::ProposeStep() {
-  auto r = interface().Query(current());
+  auto r = interface().QueryRef(current());
   if (!r || r->neighbors.empty()) return std::nullopt;
   return r->neighbors[static_cast<size_t>(
       rng().UniformInt(r->neighbors.size()))];
@@ -23,17 +23,17 @@ NodeId SimpleRandomWalk::CommitStep(NodeId target) {
   // next Step() queries it. Query eagerly anyway so the degree diagnostic
   // reflects the node we now stand on — this mirrors the paper where every
   // visited node costs one (unique) query.
-  if (interface().Query(target)) set_current(target);
+  if (interface().QueryRef(target)) set_current(target);
   return current();
 }
 
 double SimpleRandomWalk::CurrentDegreeForDiagnostic() {
-  auto r = interface().Query(current());
+  auto r = interface().QueryRef(current());
   return r ? static_cast<double>(r->degree()) : 0.0;
 }
 
 double SimpleRandomWalk::ImportanceWeight() {
-  auto r = interface().Query(current());
+  auto r = interface().QueryRef(current());
   if (!r || r->degree() == 0) return 0.0;
   return 1.0 / static_cast<double>(r->degree());
 }

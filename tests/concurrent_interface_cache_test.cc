@@ -148,6 +148,84 @@ TEST(ConcurrentInterfaceCacheTest, BudgetEnforcedExactlyAcrossThreads) {
   EXPECT_EQ(cache.QueryCost(), kBudget);
 }
 
+TEST(ConcurrentInterfaceCacheTest, BatchQueryEmptyBatchIsFree) {
+  SocialNetwork net(Cycle(8));
+  RestrictedInterface base(net);
+  ConcurrentInterfaceCache cache(base);
+  std::vector<NodeId> ids;
+  EXPECT_TRUE(cache.BatchQuery(ids).empty());
+  EXPECT_EQ(cache.QueryCost(), 0u);
+  EXPECT_EQ(cache.TotalRequests(), 0u);
+}
+
+TEST(ConcurrentInterfaceCacheTest, BatchQueryDuplicateIdsCostOne) {
+  SocialNetwork net(Cycle(8));
+  RestrictedInterface base(net);
+  ConcurrentInterfaceCache cache(base);
+  std::vector<NodeId> ids = {5, 5, 5, 2, 5};
+  auto results = cache.BatchQuery(ids);
+  ASSERT_EQ(results.size(), ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_TRUE(results[i].has_value());
+    EXPECT_EQ(results[i]->user, ids[i]);
+  }
+  EXPECT_EQ(cache.QueryCost(), 2u);
+  EXPECT_EQ(cache.TotalRequests(), 5u);
+}
+
+TEST(ConcurrentInterfaceCacheTest, BatchQueryBudgetRunsOutMidChunk) {
+  SocialNetwork net(Cycle(8));
+  RestrictedInterface base(net);
+  base.SetMaxBatchSize(4);
+  ConcurrentInterfaceCache cache(base);
+  cache.SetBudget(2);
+  std::vector<NodeId> ids = {0, 1, 2, 3};
+  auto results = cache.BatchQuery(ids);
+  EXPECT_TRUE(results[0].has_value());
+  EXPECT_TRUE(results[1].has_value());
+  EXPECT_FALSE(results[2].has_value());
+  EXPECT_FALSE(results[3].has_value());
+  EXPECT_EQ(cache.QueryCost(), 2u);
+}
+
+TEST(ConcurrentInterfaceCacheTest, QueryRefHitPathIsLockFreeAndCounted) {
+  SocialNetwork net(Cycle(8));
+  RestrictedInterface base(net);
+  ConcurrentInterfaceCache cache(base);
+  auto miss = cache.QueryRef(3);  // miss goes through the full machinery
+  ASSERT_TRUE(miss.has_value());
+  EXPECT_EQ(cache.QueryCost(), 1u);
+  auto hit = cache.QueryRef(3);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->degree(), net.graph().Degree(3));
+  EXPECT_EQ(cache.QueryCost(), 1u);
+  EXPECT_EQ(cache.TotalRequests(), 2u);
+}
+
+TEST(ConcurrentInterfaceCacheTest, SessionSnapshotRoundTripsThroughWrapper) {
+  SocialNetwork net(Cycle(8));
+  RestrictedInterface base(net);
+  ConcurrentInterfaceCache cache(base);
+  cache.Query(1);
+  cache.Query(1);  // wrapper-level hit the base never sees
+  cache.Query(4);
+  const SessionSnapshot snapshot = cache.SnapshotSession();
+  EXPECT_EQ(snapshot.cached_ids, (std::vector<NodeId>{1, 4}));
+  EXPECT_EQ(snapshot.total_requests, 3u);  // wrapper counter, not base's
+
+  RestrictedInterface other_base(net);
+  ConcurrentInterfaceCache other(other_base);
+  other.RestoreSession(snapshot);
+  EXPECT_TRUE(other.IsCached(1));
+  EXPECT_TRUE(other.IsCached(4));
+  EXPECT_FALSE(other.IsCached(0));
+  EXPECT_EQ(other.QueryCost(), 2u);
+  EXPECT_EQ(other.TotalRequests(), 3u);
+  // Restored hits are answered locally without new cost.
+  EXPECT_TRUE(other.Query(1).has_value());
+  EXPECT_EQ(other.QueryCost(), 2u);
+}
+
 TEST(ConcurrentInterfaceCacheTest, ResetClearsWrapperAndBase) {
   SocialNetwork net(Cycle(8));
   RestrictedInterface base(net);

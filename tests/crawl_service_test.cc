@@ -1,0 +1,220 @@
+#include "src/service/crawl_service.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mto {
+namespace {
+
+/// Small but non-trivial scenario: faults on, multiple backends, sharded
+/// selection (the interleaving-independent ledger assignment).
+ScenarioConfig FaultyScenario() {
+  ScenarioConfig config;
+  config.dataset = "epinions_small";
+  config.seed = 0xABCD;
+  config.sampler = SamplerKind::kSrw;
+  config.num_walkers = 8;
+  config.num_threads = 1;
+  config.geweke_check_every = 20;
+  config.geweke_min_length = 40;
+  config.max_burn_in_rounds = 200;
+  config.num_samples = 32;
+  config.thinning = 5;
+  config.fault_seed = 0xFA17;
+  config.retry.max_attempts_per_backend = 12;
+  config.backends.resize(3);
+  config.backends[0].error_rate = 0.2;
+  config.backends[0].latency_mean_us = 150;
+  config.backends[0].latency_sigma = 0.4;
+  config.backends[1].timeout_rate = 0.1;
+  config.backends[1].rate_per_sec = 5000.0;
+  config.backends[1].burst = 16.0;
+  config.backends[2].quota_rate = 0.15;
+  return config;
+}
+
+std::string TempCheckpointPath(const char* tag) {
+  return testing::TempDir() + "/crawl_service_test_" + tag + ".ckpt";
+}
+
+void ExpectBitIdentical(const ServiceResult& a, const ServiceResult& b) {
+  EXPECT_EQ(a.samples, b.samples);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].query_cost, b.trace[i].query_cost) << "trace " << i;
+    EXPECT_EQ(a.trace[i].estimate, b.trace[i].estimate) << "trace " << i;
+  }
+  EXPECT_EQ(a.final_estimate, b.final_estimate);  // bitwise, not NEAR
+  EXPECT_EQ(a.burn_in_converged, b.burn_in_converged);
+  EXPECT_EQ(a.burn_in_rounds, b.burn_in_rounds);
+  EXPECT_EQ(a.burn_in_query_cost, b.burn_in_query_cost);
+  EXPECT_EQ(a.total_rounds, b.total_rounds);
+  EXPECT_EQ(a.total_steps, b.total_steps);
+  EXPECT_EQ(a.total_query_cost, b.total_query_cost);
+  EXPECT_EQ(a.failed_fetches, b.failed_fetches);
+  ASSERT_EQ(a.backend_stats.size(), b.backend_stats.size());
+  for (size_t i = 0; i < a.backend_stats.size(); ++i) {
+    EXPECT_EQ(a.backend_stats[i].unique_queries,
+              b.backend_stats[i].unique_queries)
+        << "backend " << i;
+  }
+}
+
+/// Runs to completion, interrupting after `kill_after_units` units: saves a
+/// checkpoint there, destroys the service ("crash"), and resumes in a fresh
+/// one built from the same config.
+ServiceResult RunWithKillAndResume(const ScenarioConfig& config,
+                                   size_t kill_after_units,
+                                   const std::string& path) {
+  {
+    CrawlService victim(config);
+    for (size_t i = 0; i < kill_after_units && victim.Advance(); ++i) {
+    }
+    victim.SaveCheckpoint(path);
+    // Destructor = crash: everything in memory is lost.
+  }
+  CrawlService resumed(config);
+  resumed.LoadCheckpoint(path);
+  while (resumed.Advance()) {
+  }
+  return resumed.Finish();
+}
+
+TEST(CrawlServiceTest, RunsFaultyScenarioToCompletion) {
+  ScenarioConfig config = FaultyScenario();
+  CrawlService service(config);
+  ServiceResult result = service.Run();
+  EXPECT_EQ(result.samples.size(), 32u);
+  EXPECT_TRUE(result.burn_in_converged);
+  EXPECT_GT(result.total_query_cost, 0u);
+  EXPECT_GT(result.backend_requests, result.total_query_cost);  // retries
+  ASSERT_EQ(result.backend_stats.size(), 3u);
+  uint64_t unique_sum = 0, faults = 0;
+  for (const BackendStats& stats : result.backend_stats) {
+    unique_sum += stats.unique_queries;
+    faults += stats.failed_requests;
+  }
+  EXPECT_EQ(unique_sum, result.total_query_cost);
+  EXPECT_GT(faults, 0u);  // the fault injector actually fired
+  EXPECT_GT(result.simulated_time_us, 0u);
+}
+
+TEST(CrawlServiceTest, ResumeIsBitIdenticalAtEveryKillPoint) {
+  ScenarioConfig config = FaultyScenario();
+  const ServiceResult uninterrupted = CrawlService(config).Run();
+  const std::string path = TempCheckpointPath("kill_points");
+  // Kill points spanning burn-in (epochs) and sampling (collection rounds).
+  for (size_t kill_after : {0u, 1u, 2u, 5u, 9u, 20u}) {
+    SCOPED_TRACE("kill_after=" + std::to_string(kill_after));
+    ExpectBitIdentical(uninterrupted,
+                       RunWithKillAndResume(config, kill_after, path));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CrawlServiceTest, ResumeIsBitIdenticalUnderMultiThreadScheduling) {
+  ScenarioConfig config = FaultyScenario();
+  const ServiceResult uninterrupted = CrawlService(config).Run();
+  const std::string path = TempCheckpointPath("threads");
+  // Interrupt a 4-thread crawl, resume on 4 threads.
+  config.num_threads = 4;
+  ExpectBitIdentical(uninterrupted, RunWithKillAndResume(config, 3, path));
+  // A 1-thread checkpoint resumes on 4 threads (and vice versa): the
+  // fingerprint deliberately ignores execution shape.
+  {
+    ScenarioConfig one_thread = config;
+    one_thread.num_threads = 1;
+    CrawlService victim(one_thread);
+    victim.Advance();
+    victim.Advance();
+    victim.SaveCheckpoint(path);
+  }
+  CrawlService resumed(config);  // 4 threads
+  resumed.LoadCheckpoint(path);
+  while (resumed.Advance()) {
+  }
+  ExpectBitIdentical(uninterrupted, resumed.Finish());
+  std::remove(path.c_str());
+}
+
+TEST(CrawlServiceTest, ResumeIsBitIdenticalInCoalescedMode) {
+  ScenarioConfig config = FaultyScenario();
+  config.coalesce_frontier = true;
+  config.num_threads = 2;
+  const ServiceResult uninterrupted = CrawlService(config).Run();
+  const std::string path = TempCheckpointPath("coalesced");
+  ExpectBitIdentical(uninterrupted, RunWithKillAndResume(config, 4, path));
+  std::remove(path.c_str());
+
+  // Stepping mode does not change results either (runtime contract carries
+  // through the service layer, faults included).
+  ScenarioConfig free_run = config;
+  free_run.coalesce_frontier = false;
+  ExpectBitIdentical(uninterrupted, CrawlService(free_run).Run());
+}
+
+TEST(CrawlServiceTest, PeriodicCheckpointsDuringRunAreResumable) {
+  ScenarioConfig config = FaultyScenario();
+  config.checkpoint.path = TempCheckpointPath("periodic");
+  config.checkpoint.every_units = 3;
+  const ServiceResult full = CrawlService(config).Run();
+  // The last periodic checkpoint is some mid-run state; resuming it must
+  // converge to the same result.
+  CrawlService resumed(config);
+  resumed.LoadCheckpoint(config.checkpoint.path);
+  while (resumed.Advance()) {
+  }
+  ExpectBitIdentical(full, resumed.Finish());
+  std::remove(config.checkpoint.path.c_str());
+}
+
+TEST(CrawlServiceTest, MhrwScenarioAlsoResumesBitIdentically) {
+  ScenarioConfig config = FaultyScenario();
+  config.sampler = SamplerKind::kMhrw;
+  config.num_threads = 2;
+  const ServiceResult uninterrupted = CrawlService(config).Run();
+  const std::string path = TempCheckpointPath("mhrw");
+  ExpectBitIdentical(uninterrupted, RunWithKillAndResume(config, 6, path));
+  std::remove(path.c_str());
+}
+
+TEST(CrawlServiceTest, LoadCheckpointGuards) {
+  ScenarioConfig config = FaultyScenario();
+  const std::string path = TempCheckpointPath("guards");
+  {
+    CrawlService service(config);
+    service.Advance();
+    service.SaveCheckpoint(path);
+    // A service that already ran refuses to load.
+    EXPECT_THROW(service.LoadCheckpoint(path), std::logic_error);
+  }
+  // A different scenario refuses the checkpoint (fingerprint mismatch).
+  ScenarioConfig other = config;
+  other.seed = 999;
+  CrawlService mismatched(other);
+  EXPECT_THROW(mismatched.LoadCheckpoint(path), std::runtime_error);
+  // Corrupt file refuses to parse.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "not a checkpoint";
+  }
+  CrawlService fresh(config);
+  EXPECT_THROW(fresh.LoadCheckpoint(path), std::runtime_error);
+  std::remove(path.c_str());
+  EXPECT_THROW(fresh.LoadCheckpoint(path), std::runtime_error);
+}
+
+TEST(CrawlServiceTest, BudgetedScenarioStopsAtPoolCap) {
+  ScenarioConfig config = FaultyScenario();
+  config.total_budget = 500;
+  CrawlService service(config);
+  ServiceResult result = service.Run();
+  EXPECT_LE(result.total_query_cost, 500u);
+}
+
+}  // namespace
+}  // namespace mto

@@ -1,0 +1,70 @@
+#include "src/util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mto {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(ParseJson("null").is_null());
+  EXPECT_EQ(ParseJson("true").AsBool(), true);
+  EXPECT_EQ(ParseJson("false").AsBool(), false);
+  EXPECT_DOUBLE_EQ(ParseJson("3.25").AsDouble(), 3.25);
+  EXPECT_DOUBLE_EQ(ParseJson("-2e3").AsDouble(), -2000.0);
+  EXPECT_EQ(ParseJson("\"hi\"").AsString(), "hi");
+}
+
+TEST(JsonTest, ParsesNestedStructure) {
+  const JsonValue v = ParseJson(R"({
+    "name": "pool",
+    "backends": [{"rate": 10.5}, {"rate": 2}],
+    "enabled": true,
+    "nested": {"a": [1, 2, 3]}
+  })");
+  EXPECT_EQ(v.At("name").AsString(), "pool");
+  const auto& backends = v.At("backends").AsArray();
+  ASSERT_EQ(backends.size(), 2u);
+  EXPECT_DOUBLE_EQ(backends[0].At("rate").AsDouble(), 10.5);
+  EXPECT_EQ(v.At("nested").At("a").AsArray().size(), 3u);
+  EXPECT_TRUE(v.Has("enabled"));
+  EXPECT_FALSE(v.Has("absent"));
+}
+
+TEST(JsonTest, ParsesStringEscapes) {
+  EXPECT_EQ(ParseJson(R"("a\"b\\c\nd\tA")").AsString(), "a\"b\\c\nd\tA");
+}
+
+TEST(JsonTest, AsUintRejectsFractionsNegativesAndOverflow) {
+  EXPECT_EQ(ParseJson("42").AsUint(), 42u);
+  EXPECT_THROW(ParseJson("1.5").AsUint(), std::runtime_error);
+  EXPECT_THROW(ParseJson("-1").AsUint(), std::runtime_error);
+  EXPECT_THROW(ParseJson("1e20").AsUint(), std::runtime_error);  // >= 2^64
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  EXPECT_THROW(ParseJson(""), std::runtime_error);
+  EXPECT_THROW(ParseJson("{"), std::runtime_error);
+  EXPECT_THROW(ParseJson("[1,]"), std::runtime_error);
+  EXPECT_THROW(ParseJson("{\"a\": 1,}"), std::runtime_error);
+  EXPECT_THROW(ParseJson("tru"), std::runtime_error);
+  EXPECT_THROW(ParseJson("1 2"), std::runtime_error);  // trailing content
+  EXPECT_THROW(ParseJson("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(ParseJson("{\"a\": 1, \"a\": 2}"), std::runtime_error);
+}
+
+TEST(JsonTest, TypeMismatchThrows) {
+  const JsonValue v = ParseJson("{\"a\": 1}");
+  EXPECT_THROW(v.At("a").AsString(), std::runtime_error);
+  EXPECT_THROW(v.At("missing"), std::runtime_error);
+  EXPECT_THROW(v.AsArray(), std::runtime_error);
+}
+
+TEST(JsonTest, KeysAreSorted) {
+  const JsonValue v = ParseJson("{\"b\": 1, \"a\": 2, \"c\": 3}");
+  EXPECT_EQ(v.Keys(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+}  // namespace
+}  // namespace mto

@@ -132,6 +132,96 @@ TEST_F(RestrictedInterfaceTest, BatchQueryRejectsUnknownIdsAndZeroBatch) {
   EXPECT_THROW(iface_.SetMaxBatchSize(0), std::invalid_argument);
 }
 
+TEST_F(RestrictedInterfaceTest, BatchQueryEmptyBatchIsFree) {
+  std::vector<NodeId> ids;
+  auto results = iface_.BatchQuery(ids);
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(iface_.QueryCost(), 0u);
+  EXPECT_EQ(iface_.TotalRequests(), 0u);
+  EXPECT_EQ(iface_.BackendRequests(), 0u);
+}
+
+TEST_F(RestrictedInterfaceTest, BatchQueryDuplicatesShareOneChunkSlot) {
+  iface_.SetMaxBatchSize(2);
+  // Three distinct misses among duplicates: chunks {0,1},{2} -> 2 trips,
+  // and the duplicate of 0 must not consume a chunk slot.
+  std::vector<NodeId> ids = {0, 0, 1, 2, 1};
+  auto results = iface_.BatchQuery(ids);
+  for (const auto& r : results) EXPECT_TRUE(r.has_value());
+  EXPECT_EQ(iface_.QueryCost(), 3u);
+  EXPECT_EQ(iface_.TotalRequests(), 5u);
+  EXPECT_EQ(iface_.BackendRequests(), 2u);
+}
+
+TEST_F(RestrictedInterfaceTest, BatchQueryBudgetRunsOutMidChunk) {
+  iface_.SetMaxBatchSize(3);
+  iface_.SetBudget(2);
+  std::vector<NodeId> ids = {0, 1, 2, 3};
+  auto results = iface_.BatchQuery(ids);
+  EXPECT_TRUE(results[0].has_value());
+  EXPECT_TRUE(results[1].has_value());
+  EXPECT_FALSE(results[2].has_value());
+  EXPECT_FALSE(results[3].has_value());
+  // The chunk's round trip was already paid when its first miss was
+  // admitted; the refusals must not pay another.
+  EXPECT_EQ(iface_.BackendRequests(), 1u);
+  EXPECT_EQ(iface_.QueryCost(), 2u);
+  // Lifting the budget fetches the stragglers in a fresh trip.
+  iface_.SetBudget(std::nullopt);
+  auto again = iface_.BatchQuery(ids);
+  EXPECT_TRUE(again[2].has_value());
+  EXPECT_TRUE(again[3].has_value());
+  EXPECT_EQ(iface_.BackendRequests(), 2u);
+  EXPECT_EQ(iface_.QueryCost(), 4u);
+}
+
+TEST_F(RestrictedInterfaceTest, QueryRefMatchesQueryAndCost) {
+  auto ref = iface_.QueryRef(0);
+  ASSERT_TRUE(ref.has_value());
+  EXPECT_EQ(ref->user, 0u);
+  EXPECT_EQ(iface_.QueryCost(), 1u);
+  auto copy = iface_.Query(0);
+  ASSERT_TRUE(copy.has_value());
+  ASSERT_EQ(ref->degree(), copy->degree());
+  for (size_t i = 0; i < copy->neighbors.size(); ++i) {
+    EXPECT_EQ(ref->neighbors[i], copy->neighbors[i]);
+  }
+  EXPECT_EQ(iface_.QueryCost(), 1u);      // hit: no extra unique query
+  EXPECT_EQ(iface_.TotalRequests(), 2u);  // but both requests counted
+}
+
+TEST_F(RestrictedInterfaceTest, QueryRefHonorsBudget) {
+  iface_.SetBudget(1);
+  EXPECT_TRUE(iface_.QueryRef(0).has_value());
+  EXPECT_FALSE(iface_.QueryRef(1).has_value());
+  EXPECT_TRUE(iface_.QueryRef(0).has_value());  // cache hit still answers
+  EXPECT_THROW(iface_.QueryRef(100), std::invalid_argument);
+}
+
+TEST_F(RestrictedInterfaceTest, SessionSnapshotRoundTrips) {
+  iface_.Query(0);
+  iface_.Query(3);
+  iface_.Query(0);
+  const SessionSnapshot snapshot = iface_.SnapshotSession();
+  EXPECT_EQ(snapshot.cached_ids, (std::vector<NodeId>{0, 3}));
+  EXPECT_EQ(snapshot.unique_queries, 2u);
+  EXPECT_EQ(snapshot.total_requests, 3u);
+  EXPECT_EQ(snapshot.backend_requests, 2u);
+
+  RestrictedInterface other(net_);
+  other.RestoreSession(snapshot);
+  EXPECT_TRUE(other.IsCached(0));
+  EXPECT_TRUE(other.IsCached(3));
+  EXPECT_FALSE(other.IsCached(1));
+  EXPECT_EQ(other.QueryCost(), 2u);
+  EXPECT_EQ(other.TotalRequests(), 3u);
+  EXPECT_EQ(other.BackendRequests(), 2u);
+
+  SessionSnapshot bad = snapshot;
+  bad.cached_ids.push_back(1000);
+  EXPECT_THROW(other.RestoreSession(bad), std::invalid_argument);
+}
+
 TEST(RestrictedInterfaceProfileTest, ProfileSurfacedThroughQuery) {
   std::vector<UserProfile> profiles(3);
   profiles[2].description_length = 123;

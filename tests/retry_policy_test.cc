@@ -1,0 +1,61 @@
+#include "src/service/retry_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mto {
+namespace {
+
+TEST(RetryPolicyTest, ValidatesFields) {
+  RetryPolicy policy;
+  policy.Validate();  // defaults are valid
+  policy.max_attempts_per_backend = 0;
+  EXPECT_THROW(policy.Validate(), std::invalid_argument);
+  policy = RetryPolicy{};
+  policy.backoff_multiplier = 0.5;
+  EXPECT_THROW(policy.Validate(), std::invalid_argument);
+  policy = RetryPolicy{};
+  policy.jitter = 1.5;
+  EXPECT_THROW(policy.Validate(), std::invalid_argument);
+  policy = RetryPolicy{};
+  policy.max_backoff_us = policy.base_backoff_us - 1;
+  EXPECT_THROW(policy.Validate(), std::invalid_argument);
+}
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyWithoutJitter) {
+  RetryPolicy policy;
+  policy.base_backoff_us = 100;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_us = 1000;
+  policy.jitter = 0.0;
+  EXPECT_EQ(policy.BackoffUs(1, 7, 0), 100u);
+  EXPECT_EQ(policy.BackoffUs(1, 7, 1), 200u);
+  EXPECT_EQ(policy.BackoffUs(1, 7, 2), 400u);
+  EXPECT_EQ(policy.BackoffUs(1, 7, 3), 800u);
+  EXPECT_EQ(policy.BackoffUs(1, 7, 4), 1000u);  // capped
+  EXPECT_EQ(policy.BackoffUs(1, 7, 9), 1000u);
+}
+
+TEST(RetryPolicyTest, JitterIsDeterministicBoundedAndPerNode) {
+  RetryPolicy policy;
+  policy.base_backoff_us = 1000;
+  policy.jitter = 0.5;
+  // Pure function of (seed, node, attempt): repeated calls agree.
+  EXPECT_EQ(policy.BackoffUs(42, 3, 1), policy.BackoffUs(42, 3, 1));
+  // Bounded by [1 - jitter, 1 + jitter] around the deterministic delay.
+  for (NodeId v = 0; v < 50; ++v) {
+    const uint64_t d = policy.BackoffUs(42, v, 0);
+    EXPECT_GE(d, 500u);
+    EXPECT_LE(d, 1500u);
+  }
+  // Different nodes decorrelate (no thundering herd): not all equal.
+  bool differs = false;
+  for (NodeId v = 1; v < 50 && !differs; ++v) {
+    differs = policy.BackoffUs(42, v, 0) != policy.BackoffUs(42, 0, 0);
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace mto

@@ -207,6 +207,27 @@ TEST(RngTest, SampleWithoutReplacementUnbiased) {
   }
 }
 
+TEST(RngTest, SaveRestoreStateRoundTripsExactly) {
+  Rng rng(0xFEED);
+  for (int i = 0; i < 17; ++i) rng.Next();  // advance off the seed state
+  const auto state = rng.SaveState();
+  std::vector<uint64_t> expected;
+  for (int i = 0; i < 32; ++i) expected.push_back(rng.Next());
+
+  Rng restored(12345);  // arbitrary different state
+  restored.RestoreState(state);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(restored.Next(), expected[i]);
+
+  // Restoring mid-stream resumes the identical continuation.
+  rng.RestoreState(state);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(rng.Next(), expected[i]);
+}
+
+TEST(RngTest, RestoreStateRejectsAllZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.RestoreState({0, 0, 0, 0}), std::invalid_argument);
+}
+
 TEST(RngTest, ForkProducesIndependentStream) {
   Rng parent(99);
   Rng child = parent.Fork(1);
