@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bench/bench_flags.h"
+#include "src/core/mto_sampler.h"
 #include "src/graph/datasets.h"
 #include "src/net/restricted_interface.h"
 #include "src/runtime/concurrent_interface_cache.h"
@@ -48,6 +49,7 @@ struct Row {
   double steps_per_sec = 0.0;
   uint64_t unique_queries = 0;
   uint64_t backend_requests = 0;
+  double spec_hit_rate = -1.0;  ///< MTO speculation hit rate; -1 when N/A
   std::vector<NodeId> positions;
 };
 
@@ -92,6 +94,12 @@ class CopyingRandomWalk final : public Sampler {
 std::unique_ptr<Sampler> MakeCopyingWalker(RestrictedInterface& iface,
                                            Rng& rng, size_t i) {
   return std::make_unique<CopyingRandomWalk>(
+      iface, rng, static_cast<NodeId>(i % iface.num_users()));
+}
+
+std::unique_ptr<Sampler> MakeMtoWalker(RestrictedInterface& iface, Rng& rng,
+                                       size_t i) {
+  return std::make_unique<MtoSampler>(
       iface, rng, static_cast<NodeId>(i % iface.num_users()));
 }
 
@@ -161,6 +169,19 @@ Row RunScheduler(const SocialNetwork& net, size_t walkers, size_t threads,
       static_cast<double>(walkers * rounds) / (row.wall_ms / 1000.0);
   row.unique_queries = session.QueryCost();
   row.backend_requests = session.BackendRequests();
+  // MTO speculation accounting: how often the coalesced prefetch covered
+  // the whole step (commit moved to the speculated target first try).
+  uint64_t commits = 0, hits = 0;
+  for (size_t i = 0; i < scheduler.size(); ++i) {
+    if (auto* walker = dynamic_cast<MtoSampler*>(&scheduler.walker(i))) {
+      commits += walker->speculative_commits();
+      hits += walker->speculation_hits();
+    }
+  }
+  if (commits > 0) {
+    row.spec_hit_rate =
+        static_cast<double>(hits) / static_cast<double>(commits);
+  }
   row.positions = scheduler.Positions();
   return row;
 }
@@ -169,7 +190,8 @@ void PrintSection(const std::string& title, const std::vector<Row>& rows,
                   const Row& baseline) {
   PrintBanner(std::cout, title);
   Table table({"mode", "walkers", "threads", "batch", "steps/sec",
-               "speedup", "unique queries", "backend trips", "wall ms"});
+               "speedup", "unique queries", "backend trips", "spec hit%",
+               "wall ms"});
   for (const Row& r : rows) {
     table.AddRow({r.mode, std::to_string(r.walkers),
                   std::to_string(r.threads), std::to_string(r.batch),
@@ -177,6 +199,9 @@ void PrintSection(const std::string& title, const std::vector<Row>& rows,
                   Table::Num(r.steps_per_sec / baseline.steps_per_sec, 2),
                   std::to_string(r.unique_queries),
                   std::to_string(r.backend_requests),
+                  r.spec_hit_rate < 0.0
+                      ? std::string("-")
+                      : Table::Num(100.0 * r.spec_hit_rate, 1),
                   Table::Num(r.wall_ms, 1)});
   }
   table.PrintText(std::cout);
@@ -194,7 +219,8 @@ void WriteJson(const std::string& path, const std::vector<Row>& rows) {
         << ", \"rounds\": " << r.rounds << ", \"wall_ms\": " << r.wall_ms
         << ", \"steps_per_sec\": " << r.steps_per_sec
         << ", \"unique_queries\": " << r.unique_queries
-        << ", \"backend_requests\": " << r.backend_requests << "}"
+        << ", \"backend_requests\": " << r.backend_requests
+        << ", \"spec_hit_rate\": " << r.spec_hit_rate << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "]\n";
@@ -260,10 +286,28 @@ int main(int argc, char** argv) {
   PrintSection("Latency-bound (200us per backend round trip)", lat_rows,
                lat_base);
 
+  // --- MTO under speculation: the paper's own sampler in the same
+  // latency-bound regime. The uncoalesced rows are the pre-speculation
+  // execution model (every fetch an individual round trip); the coalesced
+  // rows batch the speculated frontier, with misses (invalidated
+  // speculations re-picking mid-step) falling back to individual fetches.
+  const size_t mto_rounds = std::max<size_t>(1, rounds / 40);
+  std::vector<Row> mto_rows;
+  for (size_t threads : {1u, 4u, 8u}) {
+    for (size_t batch : {0u, 64u}) {
+      Row row = RunScheduler(net, walkers, threads, mto_rounds, kRtt, batch,
+                             MakeMtoWalker);
+      row.section = "mto-latency-bound";
+      mto_rows.push_back(row);
+    }
+  }
+  PrintSection("MTO speculative stepping (200us per backend round trip)",
+               mto_rows, mto_rows.front());
+
   // Invariant check across every configuration of a section: walkers only
   // go faster, they never walk elsewhere or pay a different query cost.
   bool ok = true;
-  for (const auto* rows : {&cpu_rows, &lat_rows}) {
+  for (const auto* rows : {&cpu_rows, &lat_rows, &mto_rows}) {
     for (const Row& r : *rows) {
       const Row& base = rows->front();
       if (r.positions != base.positions ||
@@ -280,6 +324,7 @@ int main(int argc, char** argv) {
 
   all.insert(all.end(), cpu_rows.begin(), cpu_rows.end());
   all.insert(all.end(), lat_rows.begin(), lat_rows.end());
+  all.insert(all.end(), mto_rows.begin(), mto_rows.end());
   if (!json_path.empty()) WriteJson(json_path, all);
   return ok ? 0 : 1;
 }

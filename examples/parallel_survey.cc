@@ -3,15 +3,17 @@
 // CrawlScheduler; they share one thread-safe API session
 // (ConcurrentInterfaceCache: merged cache, shared budget, in-flight
 // dedupe) against a simulated API with 150us per round trip, overlapping
-// their round trips across threads. (MTO's rewiring step cannot
-// pre-announce its target, so these walkers free-run rather than coalesce
-// frontiers — see bench_runtime_throughput for the bulk-fetch win on
-// SRW/MHRW crawls.) Convergence is certified across chains with the
-// Gelman–Rubin diagnostic instead of a single long burn-in, and the
-// network size — which this example pretends the provider does NOT
-// publish — is recovered from sample collisions (Katzir et al., the
-// paper's [12]). With |V|^ in hand, AVG estimates turn into COUNT
-// estimates.
+// their round trips across threads. The walkers step speculatively
+// (StepProtocol::kSpeculative): each round every walker announces the
+// overlay pick its step will open with, the scheduler coalesces the
+// deduplicated frontier into bulk requests, and each commit re-validates
+// its speculation against the warm cache — see bench_runtime_throughput
+// for the measured hit rate and uplift. Convergence is certified across
+// chains with the Gelman–Rubin diagnostic instead of a single long
+// burn-in, and the network size — which this example pretends the
+// provider does NOT publish — is recovered from sample collisions
+// (Katzir et al., the paper's [12]). With |V|^ in hand, AVG estimates
+// turn into COUNT estimates.
 //
 // Build & run:   ./build/examples/parallel_survey
 
@@ -42,6 +44,9 @@ int main() {
   CrawlConfig crawl;
   crawl.num_walkers = kWalkers;
   crawl.num_threads = 4;
+  // MTO steps speculatively, so the frontier coalesces into bulk requests;
+  // results are bit-identical to free-running (the runtime contract).
+  crawl.coalesce_frontier = true;
   CrawlScheduler pool(session, crawl, /*seed=*/17,
                       [&](RestrictedInterface& iface, Rng& rng, size_t) {
                         return std::make_unique<MtoSampler>(

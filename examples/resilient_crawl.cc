@@ -6,6 +6,15 @@
 // "killed" mid-flight, resumed from disk in a fresh process image, and the
 // resumed run's estimate, samples, and per-backend ledgers are verified
 // bit-identical to an uninterrupted run of the same scenario.
+//
+// An alternative scenario file can be passed as the only argument (every
+// key is documented in docs/scenario_schema.md):
+//
+//   ./build/examples/resilient_crawl examples/scenarios/mto_crawl.json
+//
+// ctest runs it both ways: with the embedded SRW scenario, and with the
+// MTO scenario above — whose mutable overlay rides along in the
+// checkpoint since format v2.
 
 #include <cstdio>
 #include <iostream>
@@ -14,10 +23,9 @@
 #include "src/service/crawl_service.h"
 #include "src/util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mto;
 
-  const std::string checkpoint_path = "/tmp/resilient_crawl.ckpt";
   const std::string scenario_json = R"({
     "dataset": "epinions_small",
     "seed": 7,
@@ -42,7 +50,12 @@ int main() {
     ]
   })";
 
-  ScenarioConfig config = ScenarioConfig::FromJsonText(scenario_json);
+  ScenarioConfig config = argc > 1
+                              ? ScenarioConfig::FromFile(argv[1])
+                              : ScenarioConfig::FromJsonText(scenario_json);
+  const std::string checkpoint_path =
+      config.checkpoint.path.empty() ? "/tmp/resilient_crawl.ckpt"
+                                     : config.checkpoint.path;
 
   std::cout << "=== Uninterrupted reference run ===\n";
   ServiceResult reference = CrawlService(config).Run();

@@ -1,6 +1,8 @@
 #include "src/core/mto_sampler.h"
 
 #include <algorithm>
+#include <array>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
@@ -114,6 +116,7 @@ bool MtoSampler::ClassifyEdge(NodeId u, NodeId& v) {
 }
 
 NodeId MtoSampler::Step() {
+  moved_first_try_ = false;
   if (!Fetch(current())) return current();
   const NodeId u = current();
   for (uint32_t iter = 0; iter < config_.max_inner_iterations; ++iter) {
@@ -125,6 +128,7 @@ NodeId MtoSampler::Step() {
       if (ClassifyEdge(u, v)) continue;  // edge removed: pick again
     }
     if (!config_.lazy || rng().Bernoulli(0.5)) {
+      moved_first_try_ = iter == 0;
       set_current(v);
       return v;
     }
@@ -132,6 +136,38 @@ NodeId MtoSampler::Step() {
     // `continue`).
   }
   return current();
+}
+
+std::optional<NodeId> MtoSampler::ProposeStep() {
+  // Propose must never pay a query: the current node's neighborhood is
+  // read only when it is already registered or answerable from cache.
+  if (!overlay_.IsRegistered(current())) {
+    if (!interface().IsCached(current()) || !Fetch(current())) {
+      return std::nullopt;
+    }
+  }
+  const uint32_t deg = overlay_.Degree(current());
+  if (deg == 0) return std::nullopt;  // overlay-isolated: absorbing
+  // Peek the pick Step() will open with, without consuming the stream:
+  // the commit replays this exact draw from the same RNG state against the
+  // same (walker-private, hence unchanged) overlay neighborhood.
+  const std::array<uint64_t, 4> saved = rng().SaveState();
+  const NodeId v = overlay_.Neighbors(
+      current())[static_cast<size_t>(rng().UniformInt(deg))];
+  rng().RestoreState(saved);
+  return v;
+}
+
+NodeId MtoSampler::CommitStep(NodeId target) {
+  // Re-validate by replaying the full step: the first pick re-derives
+  // `target` (same RNG state, same overlay), then classification decides
+  // whether the speculated edge survives. Any re-pick fetches individually
+  // — a speculation miss — while the prefetched target stays a warm cache
+  // entry the sequential path would have queried anyway.
+  ++speculative_commits_;
+  const NodeId result = Step();
+  if (moved_first_try_ && result == target) ++speculation_hits_;
+  return result;
 }
 
 double MtoSampler::CurrentDegreeForDiagnostic() {

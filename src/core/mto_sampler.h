@@ -94,6 +94,38 @@ class MtoSampler final : public Sampler {
 
   NodeId Step() override;
 
+  /// Speculative two-phase stepping (StepProtocol::kSpeculative): MTO
+  /// cannot *promise* its target — classification may remove or replace
+  /// the picked edge mid-step, forcing a re-pick — but it can announce the
+  /// pick the step will open with. `ProposeStep()` peeks that pick (the
+  /// uniform overlay neighbor `Step()` would draw first) by saving and
+  /// restoring the RNG state around the draw, so it consumes *zero* draws
+  /// and never queries; a scheduler coalesces the announced picks into one
+  /// bulk prefetch. `CommitStep()` then replays the full step logic against
+  /// the warm cache and re-validates: when rewiring invalidated the
+  /// speculated target it re-picks exactly as the sequential path would
+  /// (the prefetched node stays a warm cache entry — the same unique query
+  /// `Step()` would have paid — so speculation is cost-neutral and never a
+  /// correctness hazard). Trajectories are bit-identical to plain `Step()`.
+  ///
+  /// `ProposeStep()` returns std::nullopt when there is nothing safe to
+  /// announce (current node not yet fetchable from cache, or
+  /// overlay-isolated); per the kSpeculative contract the scheduler then
+  /// drives the round via plain `Step()`.
+  StepProtocol step_protocol() const override {
+    return StepProtocol::kSpeculative;
+  }
+  std::optional<NodeId> ProposeStep() override;
+  NodeId CommitStep(NodeId target) override;
+
+  /// Speculation accounting (reset never; read by benches/tests). A commit
+  /// is a *hit* when the step moved to the speculated target on its first
+  /// inner iteration — i.e. the prefetch covered every fetch the step
+  /// needed. Re-picks after a removal, replacement re-targets, and lazy
+  /// re-draws all count as misses.
+  uint64_t speculative_commits() const { return speculative_commits_; }
+  uint64_t speculation_hits() const { return speculation_hits_; }
+
   /// True degree of the current node — the same attribute θ the baselines
   /// feed the Geweke diagnostic, so convergence detection is comparable.
   /// (The overlay degree drifts while rewiring is still discovering edges,
@@ -123,6 +155,26 @@ class MtoSampler final : public Sampler {
   /// True once FreezeTopology() was called.
   bool frozen() const { return frozen_; }
 
+  /// Checkpointing (src/service): the overlay's full state is a pure
+  /// function of its mutation delta plus the original neighborhoods, and
+  /// every other bit of MTO state lives in the walker's RNG stream and
+  /// position (both captured by CrawlScheduler::WalkerState). Snapshot the
+  /// delta at a unit boundary; restore into a *fresh* sampler whose
+  /// interface cache has already been restored, passing the q(v) response
+  /// source (the service uses network ground truth — every registered node
+  /// was once successfully queried, so its response is in the restored
+  /// cache and equals ground truth).
+  OverlayGraph::Delta SnapshotOverlay() const {
+    return overlay_.SnapshotDelta();
+  }
+  void RestoreOverlay(
+      const OverlayGraph::Delta& delta,
+      const std::function<std::span<const NodeId>(NodeId)>& original_neighbors,
+      bool frozen) {
+    overlay_.RestoreDelta(delta, original_neighbors);
+    frozen_ = frozen;
+  }
+
  private:
   /// Queries v and registers its original neighborhood in the overlay.
   /// Returns false when the query budget is exhausted.
@@ -142,6 +194,12 @@ class MtoSampler final : public Sampler {
   OverlayGraph overlay_;
   MtoConfig config_;
   bool frozen_ = false;
+
+  // Speculation accounting: Step() records the inner iteration its move
+  // happened on; CommitStep compares it against the speculated target.
+  bool moved_first_try_ = false;
+  uint64_t speculative_commits_ = 0;
+  uint64_t speculation_hits_ = 0;
 };
 
 }  // namespace mto

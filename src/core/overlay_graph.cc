@@ -196,6 +196,31 @@ std::unordered_map<NodeId, int> OverlayGraph::DegreeDeltas() const {
   return delta;
 }
 
+OverlayGraph::Delta OverlayGraph::SnapshotDelta() const {
+  Delta delta;
+  delta.registered.reserve(adjacency_.size());
+  for (const auto& [v, _] : adjacency_) delta.registered.push_back(v);
+  delta.removed.assign(removed_.begin(), removed_.end());
+  delta.added.assign(added_.begin(), added_.end());
+  delta.processed.assign(processed_.begin(), processed_.end());
+  std::sort(delta.registered.begin(), delta.registered.end());
+  std::sort(delta.removed.begin(), delta.removed.end());
+  std::sort(delta.added.begin(), delta.added.end());
+  std::sort(delta.processed.begin(), delta.processed.end());
+  return delta;
+}
+
+void OverlayGraph::RestoreDelta(
+    const Delta& delta,
+    const std::function<std::span<const NodeId>(NodeId)>& original_neighbors) {
+  adjacency_.clear();
+  original_.clear();
+  removed_ = {delta.removed.begin(), delta.removed.end()};
+  added_ = {delta.added.begin(), delta.added.end()};
+  processed_ = {delta.processed.begin(), delta.processed.end()};
+  for (NodeId v : delta.registered) RegisterNode(v, original_neighbors(v));
+}
+
 Graph OverlayGraph::InducedOverlay(std::vector<NodeId>* mapping) const {
   std::vector<NodeId> nodes;
   nodes.reserve(adjacency_.size());

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -92,6 +93,33 @@ class OverlayGraph {
   /// were never registered, which is what the KL experiments need to build
   /// the full ideal distribution τ*.
   std::unordered_map<NodeId, int> DegreeDeltas() const;
+
+  /// Order-independent image of everything the walk did to the overlay: the
+  /// registered node set plus the recorded edge-rule mutations (removals,
+  /// additions, classification marks, as packed `Key(u, v)` edge keys). The
+  /// overlay's full state is a pure function of this delta and the original
+  /// neighborhoods — `RegisterNode` applies recorded mutations regardless
+  /// of arrival order — which is what makes the MTO sampler checkpointable
+  /// (see src/service/checkpoint.h). All vectors are sorted ascending, so a
+  /// delta serializes deterministically.
+  struct Delta {
+    std::vector<NodeId> registered;
+    std::vector<uint64_t> removed;
+    std::vector<uint64_t> added;
+    std::vector<uint64_t> processed;
+  };
+
+  /// Captures the current delta (sorted copies of the internal sets).
+  Delta SnapshotDelta() const;
+
+  /// Rebuilds this overlay from a delta: installs the mutation sets, then
+  /// re-registers every node through `original_neighbors` (the q(v)
+  /// response source — the restored session cache, or ground truth on the
+  /// service's resume path). Any existing state is discarded. The rebuilt
+  /// overlay is bit-identical to the one the delta was snapshotted from.
+  void RestoreDelta(
+      const Delta& delta,
+      const std::function<std::span<const NodeId>(NodeId)>& original_neighbors);
 
   /// Materializes the overlay restricted to registered nodes as a Graph,
   /// relabelling to 0..k-1; `mapping`, when non-null, receives

@@ -73,13 +73,14 @@ void CrawlScheduler::RunFreeRounds(size_t rounds,
 
 void CrawlScheduler::RunCoalescedRound(std::vector<double>* diagnostics) {
   const size_t W = walkers_.size();
-  // Phase 1 (parallel): draw step targets; no fetches for two-phase walks.
+  // Phase 1 (parallel): draw or peek step targets; proposals never fetch.
   pool_->Run([&](size_t t) {
     auto [begin, end] = ThreadPool::BlockRange(W, pool_->size(), t);
     for (size_t i = begin; i < end; ++i) {
       Sampler& w = *walkers_[i];
-      proposals_[i] =
-          w.SupportsTwoPhaseStep() ? w.ProposeStep() : std::nullopt;
+      proposals_[i] = w.step_protocol() == StepProtocol::kSingleStep
+                          ? std::nullopt
+                          : w.ProposeStep();
     }
   });
   // Phase 2 (coordinator): fetch the deduplicated frontier in bulk. Only
@@ -97,8 +98,10 @@ void CrawlScheduler::RunCoalescedRound(std::vector<double>* diagnostics) {
     }
   }
   if (!frontier_.empty()) interface_->BatchQuery(frontier_);
-  // Phase 3 (parallel): commit against the now-warm cache; walks without
-  // two-phase support take their whole step here.
+  // Phase 3 (parallel): commit against the now-warm cache. kTwoPhase walks
+  // move (only) to their announced target; kSpeculative walks re-validate
+  // their speculation inside CommitStep (or take a plain Step when there
+  // was nothing to prefetch); kSingleStep walks take their whole step here.
   size_t diag_base = 0;
   if (diagnostics != nullptr) {
     diag_base = diagnostics->size();
@@ -108,10 +111,20 @@ void CrawlScheduler::RunCoalescedRound(std::vector<double>* diagnostics) {
     auto [begin, end] = ThreadPool::BlockRange(W, pool_->size(), t);
     for (size_t i = begin; i < end; ++i) {
       Sampler& w = *walkers_[i];
-      if (w.SupportsTwoPhaseStep()) {
-        if (proposals_[i]) w.CommitStep(*proposals_[i]);
-      } else {
-        w.Step();
+      switch (w.step_protocol()) {
+        case StepProtocol::kSingleStep:
+          w.Step();
+          break;
+        case StepProtocol::kTwoPhase:
+          if (proposals_[i]) w.CommitStep(*proposals_[i]);
+          break;
+        case StepProtocol::kSpeculative:
+          if (proposals_[i]) {
+            w.CommitStep(*proposals_[i]);
+          } else {
+            w.Step();
+          }
+          break;
       }
       if (diagnostics != nullptr) {
         (*diagnostics)[diag_base + i] = w.CurrentDegreeForDiagnostic();

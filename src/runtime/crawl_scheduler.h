@@ -89,8 +89,9 @@ class CrawlScheduler {
 
   /// Checkpointable per-walker state. Captured and restored only between
   /// RunRounds calls, where a walker's full state is its position plus its
-  /// RNG stream (samplers hold no other cross-round state; MTO's mutable
-  /// overlay is the exception and is rejected by the service layer).
+  /// RNG stream. (MTO additionally carries its mutable overlay; the service
+  /// layer snapshots/restores that separately via MtoSampler's
+  /// SnapshotOverlay/RestoreOverlay — see src/service/checkpoint.h.)
   struct WalkerState {
     NodeId position = 0;
     std::array<uint64_t, 4> rng_state{};

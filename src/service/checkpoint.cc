@@ -72,6 +72,22 @@ class Reader {
 
 constexpr uint64_t kMaxCount = uint64_t{1} << 33;  // corruption guard
 
+/// FNV-1a over the overlay section's encoded words: the same values are
+/// mixed on write and on read, so any bit flip in the section (or in its
+/// stored checksum) is detected before an overlay can be resumed.
+class SectionChecksum {
+ public:
+  void Mix(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ = (hash_ ^ ((v >> (8 * i)) & 0xFF)) * 0x100000001B3ULL;
+    }
+  }
+  uint64_t hash() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0xCBF29CE484222325ULL;
+};
+
 }  // namespace
 
 void ServiceCheckpoint::Save(const std::string& path) const {
@@ -132,6 +148,30 @@ void ServiceCheckpoint::Save(const std::string& path) const {
       w.U64(sample.query_cost);
       w.U32(sample.node);
     }
+
+    // Overlay section (v2): per-walker MTO overlay deltas, checksummed.
+    SectionChecksum checksum;
+    auto mixed_u64 = [&](uint64_t v) {
+      checksum.Mix(v);
+      w.U64(v);
+    };
+    auto mixed_u32 = [&](uint32_t v) {
+      checksum.Mix(v);
+      w.U32(v);
+    };
+    mixed_u64(overlays.size());
+    for (const OverlayRecord& overlay : overlays) {
+      checksum.Mix(overlay.frozen);
+      w.U8(overlay.frozen);
+      mixed_u64(overlay.delta.registered.size());
+      for (NodeId v : overlay.delta.registered) mixed_u32(v);
+      for (const auto* keys : {&overlay.delta.removed, &overlay.delta.added,
+                               &overlay.delta.processed}) {
+        mixed_u64(keys->size());
+        for (uint64_t key : *keys) mixed_u64(key);
+      }
+    }
+    w.U64(checksum.hash());
     // Flush + close before the rename so buffered-write errors surface
     // while the previous checkpoint is still intact on disk.
     out.flush();
@@ -156,8 +196,10 @@ ServiceCheckpoint ServiceCheckpoint::Load(const std::string& path) {
   Reader r(in);
   const uint32_t version = r.U32();
   if (version != kVersion) {
-    throw std::runtime_error("checkpoint: unsupported version " +
-                             std::to_string(version));
+    throw std::runtime_error(
+        "checkpoint: unsupported version " + std::to_string(version) +
+        (version > kVersion ? " (written by a future build)"
+                            : " (predates the overlay section)"));
   }
   ServiceCheckpoint ckpt;
   ckpt.config_fingerprint = r.U64();
@@ -213,6 +255,37 @@ ServiceCheckpoint ServiceCheckpoint::Load(const std::string& path) {
     sample.weight = r.F64();
     sample.query_cost = r.U64();
     sample.node = r.U32();
+  }
+
+  // Overlay section (v2): verify the checksum before anything downstream
+  // can rebuild a topology from it.
+  SectionChecksum checksum;
+  auto mixed_count = [&](uint64_t sane_max) {
+    const uint64_t n = r.Count(sane_max);
+    checksum.Mix(n);
+    return n;
+  };
+  ckpt.overlays.resize(mixed_count(1 << 24));
+  for (OverlayRecord& overlay : ckpt.overlays) {
+    overlay.frozen = r.U8();
+    checksum.Mix(overlay.frozen);
+    overlay.delta.registered.resize(mixed_count(kMaxCount));
+    for (NodeId& v : overlay.delta.registered) {
+      v = r.U32();
+      checksum.Mix(v);
+    }
+    for (auto* keys : {&overlay.delta.removed, &overlay.delta.added,
+                       &overlay.delta.processed}) {
+      keys->resize(mixed_count(kMaxCount));
+      for (uint64_t& key : *keys) {
+        key = r.U64();
+        checksum.Mix(key);
+      }
+    }
+  }
+  if (r.U64() != checksum.hash()) {
+    throw std::runtime_error(
+        "checkpoint: overlay-section checksum mismatch in " + path);
   }
   return ckpt;
 }

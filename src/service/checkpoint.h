@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/overlay_graph.h"
 #include "src/net/restricted_interface.h"
 #include "src/runtime/crawl_scheduler.h"
 #include "src/service/backend_pool.h"
@@ -16,17 +17,25 @@ enum class CrawlPhase : uint8_t { kBurnIn = 0, kSampling = 1, kDone = 2 };
 /// Complete on-disk image of a crawl-service session, sufficient to resume
 /// bit-identically: the interface-cache contents and cost counters, every
 /// backend's ledger (stats + token bucket), every walker's position and RNG
-/// state, the driver's progress, and the full prefix of the estimation
-/// streams (diagnostics and weighted samples). On resume the streams are
-/// replayed into a fresh EstimationPipeline — its state after n items is a
-/// pure function of the stream prefix, so replay reproduces the exact
-/// Geweke verdicts, running estimate, and trace (see DESIGN.md §7).
+/// state, the driver's progress, the full prefix of the estimation streams
+/// (diagnostics and weighted samples), and — for MTO crawls — every
+/// walker's overlay delta (registered nodes + edge-rule mutations + frozen
+/// flag; the walker's rewiring RNG is the walker RNG already captured in
+/// WalkerState). On resume the streams are replayed into a fresh
+/// EstimationPipeline — its state after n items is a pure function of the
+/// stream prefix, so replay reproduces the exact Geweke verdicts, running
+/// estimate, and trace — and each overlay is rebuilt from its delta (see
+/// DESIGN.md §7/§8).
 ///
-/// Format: little-endian binary, magic "MTOCKPT" + version. A fingerprint
-/// of the scenario (ScenarioConfig::Fingerprint) guards against resuming
-/// under a different configuration.
+/// Format: little-endian binary, magic "MTOCKPT" + version. Version 2 adds
+/// the overlay section, guarded by its own FNV-1a checksum so a corrupted
+/// overlay fails loudly instead of resuming a silently different topology.
+/// Any version other than kVersion is rejected (older checkpoints predate
+/// the overlay section; newer ones come from a future build). A
+/// fingerprint of the scenario (ScenarioConfig::Fingerprint) guards
+/// against resuming under a different configuration.
 struct ServiceCheckpoint {
-  static constexpr uint32_t kVersion = 1;
+  static constexpr uint32_t kVersion = 2;
 
   uint64_t config_fingerprint = 0;
 
@@ -59,6 +68,15 @@ struct ServiceCheckpoint {
     NodeId node = 0;
   };
   std::vector<SampleRecord> samples;
+
+  // Per-walker overlay state (MTO crawls only): empty, or exactly one
+  // record per walker, in walker order. Serialized with a trailing FNV-1a
+  // checksum over the section's encoded words.
+  struct OverlayRecord {
+    OverlayGraph::Delta delta;
+    uint8_t frozen = 0;
+  };
+  std::vector<OverlayRecord> overlays;
 
   /// Writes the checkpoint atomically (tmp file + rename) so a crash while
   /// saving never corrupts the previous checkpoint. Throws

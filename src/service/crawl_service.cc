@@ -159,10 +159,6 @@ ServiceResult CrawlService::Finish() {
 }
 
 void CrawlService::SaveCheckpoint(const std::string& path) {
-  if (config_.sampler == SamplerKind::kMto) {
-    throw std::invalid_argument(
-        "SaveCheckpoint: the mto sampler's overlay is not checkpointable");
-  }
   ServiceCheckpoint ckpt;
   ckpt.config_fingerprint = config_.Fingerprint();
   ckpt.session = session_->SnapshotSession();
@@ -180,6 +176,17 @@ void CrawlService::SaveCheckpoint(const std::string& path) {
   ckpt.burn_in_query_cost = burn_in_query_cost_;
   ckpt.diagnostics = diagnostics_stream_;
   ckpt.samples = samples_stream_;
+  // MTO walkers additionally carry a mutable overlay; snapshot its delta
+  // per walker (walker order). The rewiring RNG is the walker RNG, already
+  // captured in WalkerState.
+  if (config_.sampler == SamplerKind::kMto) {
+    ckpt.overlays.reserve(scheduler_->size());
+    for (size_t i = 0; i < scheduler_->size(); ++i) {
+      auto& walker = dynamic_cast<MtoSampler&>(scheduler_->walker(i));
+      ckpt.overlays.push_back({walker.SnapshotOverlay(),
+                               walker.frozen() ? uint8_t{1} : uint8_t{0}});
+    }
+  }
   ckpt.Save(path);
 }
 
@@ -197,6 +204,33 @@ void CrawlService::LoadCheckpoint(const std::string& path) {
   pool_->RestoreBackends(
       {ckpt.ledgers, ckpt.round_robin_cursor, ckpt.failed_fetches});
   scheduler_->RestoreWalkers(ckpt.walkers, ckpt.total_steps);
+
+  // MTO overlays: rebuild each walker's overlay from its delta. Responses
+  // come from network ground truth — every registered node was once
+  // successfully queried, so its cached response equals the network's
+  // neighbor list — which keeps the restore free of interface traffic.
+  if (config_.sampler == SamplerKind::kMto) {
+    if (ckpt.overlays.size() != scheduler_->size()) {
+      throw std::runtime_error(
+          "LoadCheckpoint: overlay record count does not match walkers");
+    }
+    const Graph& graph = network_.graph();
+    const auto neighbors = [&graph](NodeId v) -> std::span<const NodeId> {
+      if (v >= graph.num_nodes()) {
+        throw std::runtime_error(
+            "LoadCheckpoint: overlay references an unknown node");
+      }
+      return graph.Neighbors(v);
+    };
+    for (size_t i = 0; i < scheduler_->size(); ++i) {
+      auto& walker = dynamic_cast<MtoSampler&>(scheduler_->walker(i));
+      walker.RestoreOverlay(ckpt.overlays[i].delta, neighbors,
+                            ckpt.overlays[i].frozen != 0);
+    }
+  } else if (!ckpt.overlays.empty()) {
+    throw std::runtime_error(
+        "LoadCheckpoint: checkpoint carries overlays for a non-MTO scenario");
+  }
 
   // Replay the estimation streams: the pipeline's state after n items is a
   // pure function of the stream prefix, so the resumed consumer reaches the

@@ -41,14 +41,15 @@ struct ServiceResult {
 /// `Advance()` performs one unit — a burn-in epoch (geweke_check_every
 /// rounds) or one collection round — and every unit boundary is a valid
 /// checkpoint point: `SaveCheckpoint` captures the session, backend
-/// ledgers, walker positions + RNG states, driver progress, and the full
-/// estimation-stream prefix. A fresh service constructed from the same
-/// config can `LoadCheckpoint` and continue; the resumed run's samples,
-/// trace, estimate, and per-backend unique-query costs are bit-identical
-/// to an uninterrupted run (crawl_service_test pins this, including under
-/// multi-thread scheduling and injected faults; the caveats are the
-/// runtime's usual ones — exhausting a budget mid-crawl voids bit-identity,
-/// and the MTO sampler's mutable overlay is not checkpointable).
+/// ledgers, walker positions + RNG states, driver progress, the full
+/// estimation-stream prefix, and (for MTO crawls) every walker's overlay
+/// delta. A fresh service constructed from the same config can
+/// `LoadCheckpoint` and continue; the resumed run's samples, trace,
+/// estimate, and per-backend unique-query costs are bit-identical to an
+/// uninterrupted run for every sampler, MTO's mutable overlay included
+/// (crawl_service_test pins this, including under multi-thread scheduling
+/// and injected faults; the one caveat is the runtime's usual one —
+/// exhausting a budget mid-crawl voids bit-identity).
 class CrawlService {
  public:
   /// Builds the full stack; throws on invalid config or unknown dataset.
@@ -77,8 +78,8 @@ class CrawlService {
   /// Idempotent. Callable before Done() for partial results.
   ServiceResult Finish();
 
-  /// Saves a checkpoint at the current unit boundary. Throws for the MTO
-  /// sampler (mutable overlay state is not serialized).
+  /// Saves a checkpoint at the current unit boundary. For MTO crawls the
+  /// image includes every walker's overlay delta (checksummed on disk).
   void SaveCheckpoint(const std::string& path);
 
   /// Restores a checkpoint into this *freshly constructed* service (no

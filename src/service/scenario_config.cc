@@ -236,12 +236,6 @@ void ScenarioConfig::Validate() const {
     throw std::invalid_argument(
         "ScenarioConfig: checkpoint.every_units set without checkpoint.path");
   }
-  if (!checkpoint.path.empty() && sampler == SamplerKind::kMto) {
-    // The MTO overlay is mutable crawl state the checkpoint format does not
-    // (yet) serialize; resuming it would silently diverge.
-    throw std::invalid_argument(
-        "ScenarioConfig: checkpointing does not support the mto sampler");
-  }
 }
 
 uint64_t ScenarioConfig::Fingerprint() const {

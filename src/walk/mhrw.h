@@ -14,7 +14,9 @@ class MetropolisHastingsWalk final : public Sampler {
   MetropolisHastingsWalk(RestrictedInterface& interface, Rng& rng, NodeId start);
 
   NodeId Step() override;
-  bool SupportsTwoPhaseStep() const override { return true; }
+  StepProtocol step_protocol() const override {
+    return StepProtocol::kTwoPhase;
+  }
   std::optional<NodeId> ProposeStep() override;
   NodeId CommitStep(NodeId target) override;
   double CurrentDegreeForDiagnostic() override;

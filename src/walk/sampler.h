@@ -8,6 +8,28 @@
 
 namespace mto {
 
+/// How a batching scheduler (runtime/CrawlScheduler) should drive a walk in
+/// coalesced rounds. See the two-phase stepping contract on Sampler below.
+enum class StepProtocol {
+  /// The walk cannot announce anything useful before stepping (Random
+  /// Jump's teleports draw a fresh node id that is pointless to prefetch).
+  /// Coalesced rounds drive it via plain `Step()` in the commit phase.
+  kSingleStep,
+  /// `ProposeStep()` announces the walk's definitive target: if the commit
+  /// moves at all, it moves there (SRW, MHRW). A std::nullopt proposal
+  /// means the walk cannot move this round and no commit follows.
+  kTwoPhase,
+  /// `ProposeStep()` announces a *speculation*: the pick the step would
+  /// take on the walk's current view, peeked without consuming RNG draws.
+  /// `CommitStep()` re-runs the full step logic and re-validates — if the
+  /// walk's own mutations (MTO's edge removal/replacement) invalidate the
+  /// speculated target mid-step it re-picks, and the prefetched node stays
+  /// a warm cache entry, never a correctness hazard. A std::nullopt
+  /// proposal only means "nothing to prefetch"; the commit still runs a
+  /// full `Step()`.
+  kSpeculative,
+};
+
 /// Base class for random-walk samplers over a RestrictedInterface.
 ///
 /// A sampler owns its position but not the interface (the interface is the
@@ -30,18 +52,29 @@ class Sampler {
   virtual NodeId Step() = 0;
 
   /// Two-phase stepping for batched schedulers (runtime/CrawlScheduler):
-  /// `ProposeStep()` draws the step's target using the walk's own RNG but
-  /// does not fetch it, so a scheduler can coalesce many walkers' targets
-  /// into one bulk fetch before every walker runs `CommitStep(target)`.
-  /// The pair consumes exactly the RNG draws `Step()` would, in the same
-  /// order, so `Step()` and propose/commit produce bit-identical
-  /// trajectories. `ProposeStep()` returning std::nullopt means the walk
-  /// cannot move this round (isolated node or exhausted budget at the
-  /// current node); no commit follows.
-  /// Walks whose step logic cannot pre-announce its target (MTO's rewiring
-  /// loop, Random Jump's teleports) return false from
-  /// `SupportsTwoPhaseStep()` and are driven via plain `Step()`.
-  virtual bool SupportsTwoPhaseStep() const { return false; }
+  /// `ProposeStep()` announces the step's target without fetching it, so a
+  /// scheduler can coalesce many walkers' targets into one bulk fetch
+  /// before every walker runs `CommitStep(target)`. In every protocol the
+  /// propose/commit pair consumes exactly the RNG draws `Step()` would, in
+  /// the same order, so `Step()` and propose/commit produce bit-identical
+  /// trajectories.
+  ///
+  /// `step_protocol()` declares how the announcement is to be read:
+  ///  * kTwoPhase (SRW, MHRW): the proposal is definitive; std::nullopt
+  ///    means the walk cannot move this round (isolated node or exhausted
+  ///    budget) and no commit follows.
+  ///  * kSpeculative (MTO): the proposal is the pick the step would take on
+  ///    the walk's current overlay view, *peeked* without consuming RNG
+  ///    draws. The commit replays the full step — classification may
+  ///    remove or replace the speculated edge mid-step, in which case the
+  ///    walk re-picks and the prefetch was merely a warm cache entry.
+  ///    std::nullopt only means "nothing to prefetch"; the commit still
+  ///    runs (via plain `Step()`).
+  ///  * kSingleStep (Random Jump): no useful announcement exists; the walk
+  ///    is driven via plain `Step()` in the commit phase.
+  virtual StepProtocol step_protocol() const {
+    return StepProtocol::kSingleStep;
+  }
   virtual std::optional<NodeId> ProposeStep() { return std::nullopt; }
   virtual NodeId CommitStep(NodeId target) {
     (void)target;

@@ -1,0 +1,169 @@
+#include "src/service/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mto {
+namespace {
+
+std::string TempPath(const char* tag) {
+  return testing::TempDir() + "/checkpoint_test_" + tag + ".ckpt";
+}
+
+/// A small but fully populated checkpoint, overlay section included.
+ServiceCheckpoint MakeCheckpoint() {
+  ServiceCheckpoint ckpt;
+  ckpt.config_fingerprint = 0xFEEDFACE;
+  ckpt.session.cached_ids = {1, 2, 5, 8};
+  ckpt.session.unique_queries = 4;
+  ckpt.session.total_requests = 11;
+  ckpt.session.backend_requests = 6;
+  ckpt.ledgers.resize(2);
+  ckpt.ledgers[0].stats.unique_queries = 3;
+  ckpt.ledgers[1].stats.requests = 7;
+  ckpt.walkers.resize(2);
+  ckpt.walkers[0] = {5, {1, 2, 3, 4}};
+  ckpt.walkers[1] = {8, {9, 10, 11, 12}};
+  ckpt.total_steps = 40;
+  ckpt.phase = CrawlPhase::kSampling;
+  ckpt.rounds = 20;
+  ckpt.diagnostics = {4.0, 2.5};
+  ckpt.samples.push_back({6.0, 0.25, 4, 5});
+  ServiceCheckpoint::OverlayRecord overlay;
+  overlay.frozen = 1;
+  overlay.delta.registered = {1, 2, 5};
+  overlay.delta.removed = {(uint64_t{1} << 32) | 2};
+  overlay.delta.added = {(uint64_t{2} << 32) | 5};
+  overlay.delta.processed = {(uint64_t{1} << 32) | 2, (uint64_t{2} << 32) | 5};
+  ckpt.overlays.push_back(overlay);
+  // Second walker: no rewiring yet, but one classified-as-kept edge (so the
+  // file ends in a payload word, which the corruption test flips).
+  ServiceCheckpoint::OverlayRecord second;
+  second.delta.registered = {8};
+  second.delta.processed = {(uint64_t{8} << 32) | 9};
+  ckpt.overlays.push_back(second);
+  return ckpt;
+}
+
+std::vector<char> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void WriteAll(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(CheckpointTest, SaveLoadRoundTripsEveryField) {
+  const ServiceCheckpoint saved = MakeCheckpoint();
+  const std::string path = TempPath("roundtrip");
+  saved.Save(path);
+  const ServiceCheckpoint loaded = ServiceCheckpoint::Load(path);
+  EXPECT_EQ(loaded.config_fingerprint, saved.config_fingerprint);
+  EXPECT_EQ(loaded.session.cached_ids, saved.session.cached_ids);
+  EXPECT_EQ(loaded.session.total_requests, saved.session.total_requests);
+  ASSERT_EQ(loaded.ledgers.size(), 2u);
+  EXPECT_EQ(loaded.ledgers[0].stats.unique_queries, 3u);
+  EXPECT_EQ(loaded.ledgers[1].stats.requests, 7u);
+  ASSERT_EQ(loaded.walkers.size(), 2u);
+  EXPECT_EQ(loaded.walkers[1].position, 8u);
+  EXPECT_EQ(loaded.walkers[1].rng_state, saved.walkers[1].rng_state);
+  EXPECT_EQ(loaded.phase, CrawlPhase::kSampling);
+  EXPECT_EQ(loaded.diagnostics, saved.diagnostics);
+  ASSERT_EQ(loaded.samples.size(), 1u);
+  EXPECT_EQ(loaded.samples[0].node, 5u);
+  ASSERT_EQ(loaded.overlays.size(), 2u);
+  EXPECT_EQ(loaded.overlays[0].frozen, 1u);
+  EXPECT_EQ(loaded.overlays[0].delta.registered,
+            saved.overlays[0].delta.registered);
+  EXPECT_EQ(loaded.overlays[0].delta.removed, saved.overlays[0].delta.removed);
+  EXPECT_EQ(loaded.overlays[0].delta.added, saved.overlays[0].delta.added);
+  EXPECT_EQ(loaded.overlays[0].delta.processed,
+            saved.overlays[0].delta.processed);
+  EXPECT_EQ(loaded.overlays[1].delta.registered,
+            saved.overlays[1].delta.registered);
+  EXPECT_EQ(loaded.overlays[1].delta.processed,
+            saved.overlays[1].delta.processed);
+  EXPECT_TRUE(loaded.overlays[1].delta.removed.empty());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, TruncatedFileFailsLoudly) {
+  const std::string path = TempPath("truncated");
+  MakeCheckpoint().Save(path);
+  const std::vector<char> bytes = ReadAll(path);
+  // Cut the file at every interesting boundary: inside the magic, inside
+  // the header, and at several points of the payload. Every cut must
+  // throw, never return a half-read checkpoint.
+  for (size_t keep : {size_t{0}, size_t{4}, size_t{9}, size_t{30},
+                      bytes.size() / 2, bytes.size() - 1}) {
+    SCOPED_TRACE("keep=" + std::to_string(keep));
+    WriteAll(path, {bytes.begin(), bytes.begin() + keep});
+    EXPECT_THROW(ServiceCheckpoint::Load(path), std::runtime_error);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, BadMagicFailsLoudly) {
+  const std::string path = TempPath("magic");
+  MakeCheckpoint().Save(path);
+  std::vector<char> bytes = ReadAll(path);
+  bytes[0] = 'X';
+  WriteAll(path, bytes);
+  EXPECT_THROW(ServiceCheckpoint::Load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, FutureVersionFailsLoudly) {
+  const std::string path = TempPath("future");
+  MakeCheckpoint().Save(path);
+  std::vector<char> bytes = ReadAll(path);
+  bytes[8] = 99;  // version u32 follows the 8-byte magic (little-endian)
+  WriteAll(path, bytes);
+  try {
+    ServiceCheckpoint::Load(path);
+    FAIL() << "future version accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version 99"), std::string::npos)
+        << e.what();
+  }
+  // Older versions (pre-overlay format) are rejected too.
+  bytes[8] = 1;
+  WriteAll(path, bytes);
+  EXPECT_THROW(ServiceCheckpoint::Load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, OverlayChecksumMismatchFailsLoudly) {
+  const std::string path = TempPath("checksum");
+  MakeCheckpoint().Save(path);
+  const std::vector<char> pristine = ReadAll(path);
+  // The overlay section ends the file: ... payload ..., checksum u64. Flip
+  // a bit inside the last payload word (an overlay edge key) and inside
+  // the stored checksum itself; both must be caught.
+  for (size_t offset_from_end : {size_t{9}, size_t{1}}) {
+    SCOPED_TRACE("offset_from_end=" + std::to_string(offset_from_end));
+    std::vector<char> bytes = pristine;
+    bytes[bytes.size() - offset_from_end] ^= 0x40;
+    WriteAll(path, bytes);
+    try {
+      ServiceCheckpoint::Load(path);
+      FAIL() << "corrupted overlay accepted";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos)
+          << e.what();
+    }
+  }
+  // The pristine bytes still load (the test corrupts, not the save path).
+  WriteAll(path, pristine);
+  EXPECT_NO_THROW(ServiceCheckpoint::Load(path));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mto

@@ -106,21 +106,52 @@ TEST(CrawlSchedulerTest, MhrwTwoPhaseMatchesPlainStepping) {
   EXPECT_EQ(a.query_cost, b.query_cost);
 }
 
-TEST(CrawlSchedulerTest, NonTwoPhaseWalkersFallBackDeterministically) {
-  // MtoSampler declines two-phase stepping; both modes and all thread
-  // counts must still agree bit-for-bit via the plain-Step fallback.
+TEST(CrawlSchedulerTest, MtoSpeculativeSteppingIsBitIdenticalAcrossModes) {
+  // MtoSampler steps speculatively: ProposeStep peeks the overlay pick
+  // (consuming no RNG draws) so the scheduler can prefetch it, and
+  // CommitStep replays the full rewiring step against the warm cache.
+  // Positions, diagnostics, and unique-query cost must be bit-identical
+  // across 1/2/8 threads and both stepping modes.
   SocialNetwork net(TestGraph());
   std::vector<CrawlResult> runs;
-  for (size_t threads : {1u, 4u}) {
+  for (size_t threads : {1u, 2u, 8u}) {
     for (bool coalesce : {false, true}) {
-      CrawlConfig config{6, threads, coalesce};
-      runs.push_back(RunCrawl(net, config, 80, MtoFactory));
+      CrawlConfig config{8, threads, coalesce};
+      runs.push_back(RunCrawl(net, config, 120, MtoFactory));
     }
   }
   for (size_t i = 1; i < runs.size(); ++i) {
     EXPECT_EQ(runs[0].positions, runs[i].positions) << "variant " << i;
+    EXPECT_EQ(runs[0].diagnostics, runs[i].diagnostics) << "variant " << i;
     EXPECT_EQ(runs[0].query_cost, runs[i].query_cost) << "variant " << i;
   }
+  // Coalescing pays for the same unique queries in fewer round trips: the
+  // speculated frontier batches, only re-picks fetch individually.
+  const CrawlResult& free_run = runs[0];
+  const CrawlResult& coalesced = runs[1];
+  EXPECT_LT(coalesced.backend_requests, free_run.backend_requests);
+}
+
+TEST(CrawlSchedulerTest, MtoSpeculationMostlyHitsAndMissesAreCounted) {
+  SocialNetwork net(TestGraph());
+  RestrictedInterface base(net);
+  base.SetMaxBatchSize(16);
+  ConcurrentInterfaceCache session(base);
+  CrawlConfig config{8, 2, /*coalesce_frontier=*/true};
+  CrawlScheduler scheduler(session, config, kSeed, MtoFactory);
+  scheduler.RunRounds(150);
+  uint64_t commits = 0, hits = 0;
+  for (size_t i = 0; i < scheduler.size(); ++i) {
+    auto& walker = dynamic_cast<MtoSampler&>(scheduler.walker(i));
+    commits += walker.speculative_commits();
+    hits += walker.speculation_hits();
+  }
+  // Nearly every round proposes (only the very first, uncached position
+  // declines), most speculations validate, and rewiring produces at least
+  // some misses on this clustered graph.
+  EXPECT_GE(commits, 8u * 149u);
+  EXPECT_GT(hits, commits / 2);
+  EXPECT_LT(hits, commits);
 }
 
 TEST(CrawlSchedulerTest, MatchesParallelWalkersPoolSemantics) {

@@ -182,6 +182,64 @@ TEST(CrawlServiceTest, MhrwScenarioAlsoResumesBitIdentically) {
   std::remove(path.c_str());
 }
 
+TEST(CrawlServiceTest, MtoScenarioResumesBitIdenticallyAtEveryKillPoint) {
+  // The paper's own sampler, with its mutable overlay in the checkpoint
+  // image: kill points span mid-burn-in (mid-rewire — the overlay is a
+  // half-classified work in progress) and the sampling phase (frozen
+  // overlay), under injected faults.
+  ScenarioConfig config = FaultyScenario();
+  config.sampler = SamplerKind::kMto;
+  const ServiceResult uninterrupted = CrawlService(config).Run();
+  const std::string path = TempCheckpointPath("mto_kill_points");
+  for (size_t kill_after : {0u, 1u, 2u, 5u, 9u, 20u}) {
+    SCOPED_TRACE("kill_after=" + std::to_string(kill_after));
+    ExpectBitIdentical(uninterrupted,
+                       RunWithKillAndResume(config, kill_after, path));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CrawlServiceTest, MtoScenarioIsBitIdenticalAcrossThreadsAndModes) {
+  // The acceptance invariant for speculative stepping carried through the
+  // whole stack: an MTO crawl under CrawlScheduler with frontier
+  // coalescing produces bit-identical samples/trace/cost across 1/2/8
+  // threads and both stepping modes — and a coalesced multi-thread victim
+  // resumes bit-identically.
+  ScenarioConfig config = FaultyScenario();
+  config.sampler = SamplerKind::kMto;
+  const ServiceResult reference = CrawlService(config).Run();
+  for (size_t threads : {2u, 8u}) {
+    for (bool coalesce : {false, true}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) + " coalesce=" +
+                   std::to_string(coalesce));
+      ScenarioConfig variant = config;
+      variant.num_threads = threads;
+      variant.coalesce_frontier = coalesce;
+      ExpectBitIdentical(reference, CrawlService(variant).Run());
+    }
+  }
+  ScenarioConfig coalesced = config;
+  coalesced.num_threads = 2;
+  coalesced.coalesce_frontier = true;
+  const std::string path = TempCheckpointPath("mto_coalesced");
+  ExpectBitIdentical(reference, RunWithKillAndResume(coalesced, 4, path));
+  std::remove(path.c_str());
+}
+
+TEST(CrawlServiceTest, MtoPeriodicCheckpointsDuringRunAreResumable) {
+  ScenarioConfig config = FaultyScenario();
+  config.sampler = SamplerKind::kMto;
+  config.checkpoint.path = TempCheckpointPath("mto_periodic");
+  config.checkpoint.every_units = 3;
+  const ServiceResult full = CrawlService(config).Run();
+  CrawlService resumed(config);
+  resumed.LoadCheckpoint(config.checkpoint.path);
+  while (resumed.Advance()) {
+  }
+  ExpectBitIdentical(full, resumed.Finish());
+  std::remove(config.checkpoint.path.c_str());
+}
+
 TEST(CrawlServiceTest, LoadCheckpointGuards) {
   ScenarioConfig config = FaultyScenario();
   const std::string path = TempCheckpointPath("guards");

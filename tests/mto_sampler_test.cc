@@ -180,6 +180,122 @@ TEST(MtoSamplerTest, BudgetExhaustionFreezesWalk) {
   EXPECT_EQ(iface.QueryCost(), 5u);
 }
 
+TEST(MtoSamplerTest, SpeculativeProtocolDeclaredAndPeekConsumesNoDraws) {
+  SocialNetwork net(Barbell(6));
+  RestrictedInterface iface(net);
+  Rng rng(21);
+  MtoSampler mto(iface, rng, 0);
+  EXPECT_EQ(mto.step_protocol(), StepProtocol::kSpeculative);
+  mto.Step();  // register the current position
+  const auto state_before = rng.SaveState();
+  auto proposal = mto.ProposeStep();
+  ASSERT_TRUE(proposal.has_value());
+  EXPECT_EQ(rng.SaveState(), state_before);  // peeked, not consumed
+  // The proposal is exactly the pick the step opens with: with rewiring
+  // disabled mid-run it is also where the walk lands.
+  EXPECT_TRUE(mto.overlay().HasEdge(mto.current(), *proposal));
+}
+
+TEST(MtoSamplerTest, ProposeCommitTrajectoryMatchesPlainStepping) {
+  // Two samplers over identical seeds: one driven by plain Step(), one by
+  // the speculative propose/commit pair (with the proposal prefetched the
+  // way a coalescing scheduler would). Trajectories, overlays, and
+  // unique-query costs must agree bit-for-bit — in both stepping orders
+  // the pair consumes exactly the draws Step() does.
+  for (bool lazy : {false, true}) {
+    SocialNetwork net(Barbell(8));
+    RestrictedInterface iface_a(net);
+    RestrictedInterface iface_b(net);
+    Rng rng_a(22), rng_b(22);
+    MtoConfig config;
+    config.lazy = lazy;
+    MtoSampler plain(iface_a, rng_a, 0, config);
+    MtoSampler spec(iface_b, rng_b, 0, config);
+    for (int i = 0; i < 600; ++i) {
+      const NodeId a = plain.Step();
+      auto proposal = spec.ProposeStep();
+      if (proposal) iface_b.Query(*proposal);  // the scheduler's prefetch
+      const NodeId b = proposal ? spec.CommitStep(*proposal) : spec.Step();
+      ASSERT_EQ(a, b) << "step " << i << " lazy " << lazy;
+    }
+    EXPECT_EQ(iface_a.QueryCost(), iface_b.QueryCost()) << "lazy " << lazy;
+    EXPECT_EQ(plain.overlay().num_removed(), spec.overlay().num_removed());
+    EXPECT_EQ(plain.overlay().num_added(), spec.overlay().num_added());
+    EXPECT_EQ(rng_a.SaveState(), rng_b.SaveState());
+  }
+}
+
+TEST(MtoSamplerTest, SpeculativeMissStormStaysCorrect) {
+  // A dense clique pair is a worst case for speculation: early steps
+  // classify (and often remove) nearly every picked edge, invalidating the
+  // speculated target over and over. Misses must be counted and the
+  // trajectory must still match the sequential path exactly (covered
+  // above); here we pin that misses actually occur and hits never exceed
+  // commits.
+  SocialNetwork net(Barbell(11));
+  RestrictedInterface iface(net);
+  Rng rng(23);
+  MtoSampler mto(iface, rng, 0, RemovalOnly());
+  for (int i = 0; i < 2000; ++i) {
+    auto proposal = mto.ProposeStep();
+    if (proposal) {
+      iface.Query(*proposal);
+      mto.CommitStep(*proposal);
+    } else {
+      mto.Step();
+    }
+  }
+  EXPECT_GT(mto.overlay().num_removed(), 10u);  // the storm happened
+  EXPECT_GT(mto.speculative_commits(), 0u);
+  EXPECT_LT(mto.speculation_hits(), mto.speculative_commits());
+  EXPECT_GT(mto.speculation_hits(), 0u);
+}
+
+TEST(MtoSamplerTest, OverlaySnapshotRestoreRoundTripsBitIdentically) {
+  SocialNetwork net(Barbell(9));
+  RestrictedInterface iface(net);
+  Rng rng(24);
+  MtoSampler original(iface, rng, 0);
+  for (int i = 0; i < 1500; ++i) original.Step();
+
+  // Checkpoint: overlay delta + position + RNG state (the service's
+  // per-walker image).
+  const OverlayGraph::Delta delta = original.SnapshotOverlay();
+  EXPECT_FALSE(delta.registered.empty());
+  EXPECT_FALSE(delta.removed.empty());
+  const NodeId position = original.current();
+  const auto rng_state = rng.SaveState();
+
+  // Resume into a fresh sampler over a fresh session (cache replayed the
+  // way RestoreSession would: every registered node was once queried).
+  RestrictedInterface iface2(net);
+  for (NodeId v = 0; v < net.num_users(); ++v) {
+    if (iface.IsCached(v)) iface2.Query(v);
+  }
+  Rng rng2(999);  // arbitrary; overwritten by the restore
+  MtoSampler resumed(iface2, rng2, 0);
+  resumed.Teleport(position);
+  rng2.RestoreState(rng_state);
+  resumed.RestoreOverlay(
+      delta, [&net](NodeId v) { return net.graph().Neighbors(v); },
+      original.frozen());
+
+  // The restored overlay is the original, bit for bit.
+  for (NodeId v : delta.registered) {
+    ASSERT_TRUE(resumed.overlay().IsRegistered(v));
+    EXPECT_EQ(resumed.overlay().Neighbors(v), original.overlay().Neighbors(v))
+        << "node " << v;
+  }
+  EXPECT_EQ(resumed.overlay().num_removed(), original.overlay().num_removed());
+  EXPECT_EQ(resumed.overlay().num_added(), original.overlay().num_added());
+
+  // And the continuation is the same walk.
+  for (int i = 0; i < 1500; ++i) {
+    ASSERT_EQ(original.Step(), resumed.Step()) << "resumed step " << i;
+  }
+  EXPECT_EQ(iface.QueryCost(), iface2.QueryCost());
+}
+
 TEST(MtoSamplerTest, StationaryDistributionMatchesOverlayDegrees) {
   // Long MTO walk on a small graph: empirical visit frequency must match
   // k*_v / 2|E*| of the final overlay (the walk IS an SRW on G*).

@@ -95,12 +95,14 @@ TEST(ScenarioConfigTest, SemanticValidation) {
   EXPECT_THROW(ScenarioConfig::FromJsonText(
                    R"({"checkpoint": {"every_units": 2}})"),
                std::invalid_argument);
-  // ...and does not support the MTO sampler's mutable overlay.
-  EXPECT_THROW(ScenarioConfig::FromJsonText(
-                   R"({"sampler": "mto",
-                       "checkpoint": {"path": "x.ckpt"}})"),
-               std::invalid_argument);
-  // MTO without checkpointing is fine.
+  // MTO checkpoints its overlay delta since checkpoint format v2: a
+  // checkpointed MTO scenario is a valid configuration.
+  {
+    const ScenarioConfig config = ScenarioConfig::FromJsonText(
+        R"({"sampler": "mto", "checkpoint": {"path": "x.ckpt"}})");
+    EXPECT_EQ(config.sampler, SamplerKind::kMto);
+    EXPECT_EQ(config.checkpoint.path, "x.ckpt");
+  }
   EXPECT_EQ(ScenarioConfig::FromJsonText(R"({"sampler": "mto"})").sampler,
             SamplerKind::kMto);
 }
