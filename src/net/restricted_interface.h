@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <vector>
@@ -9,6 +10,35 @@
 #include "src/net/social_network.h"
 
 namespace mto {
+
+/// How a concurrent wrapper executes cache-missing fetches (see
+/// runtime/ConcurrentInterfaceCache and DESIGN.md §9):
+///  * kSync — every miss group runs to completion on the calling thread,
+///    under the wrapper's ledger lock (the pre-async execution model).
+///  * kAsync — miss groups are planned synchronously (routing, budget,
+///    cache, cost — the deterministic part) and their per-backend ledger
+///    and latency work is executed concurrently, so misses served by
+///    different backends overlap in real time. Results are bit-identical
+///    to kSync by construction (the plan is shared; see PlanFetchMisses).
+enum class FetchMode { kSync, kAsync };
+
+const char* FetchModeName(FetchMode mode);
+
+/// A planned-but-not-applied fetch of a miss group, produced by
+/// `PlanFetchMisses`. The plan itself already ran on the calling thread:
+/// per-node outcomes are decided, successful nodes are cached, and every
+/// cost counter the routing logic reads is updated. What remains is the
+/// deferred work in `apply_tasks`: per-backend ledger bookkeeping plus the
+/// real-time latency of the round trips, one task per backend touched.
+/// Tasks are independent of each other and touch disjoint ledgers; run
+/// them on any threads (concurrently for round-trip overlap) and the fetch
+/// is complete once all of them returned.
+struct DeferredFetch {
+  std::vector<std::function<void()>> apply_tasks;
+  /// Parallel to the planned miss span: 1 iff that node was fetched (it is
+  /// cached and cost was charged), 0 iff it was refused.
+  std::vector<uint8_t> fetched;
+};
 
 /// Response of one individual-user query q(v) (paper Section II-A):
 /// the user's profile plus the complete list of connected users.
@@ -151,6 +181,26 @@ class RestrictedInterface {
   /// Maximum ids the bulk endpoint serves per backend round trip (>= 1).
   virtual void SetMaxBatchSize(size_t max_batch_size);
   virtual size_t max_batch_size() const { return max_batch_size_; }
+
+  /// Two-phase fetch for concurrent wrappers (the async path): plans the
+  /// fetch of `misses` synchronously — routing, budget checks, fault-draw
+  /// outcomes, cache marking, and unique-cost accounting all happen before
+  /// this returns, exactly as the sync path would decide them — and defers
+  /// only per-backend ledger/latency work into the returned tasks. Each
+  /// deferred task sleeps `per_trip_latency` once per backend round trip it
+  /// applies, so running the tasks concurrently overlaps the round trips of
+  /// different backends. Returns std::nullopt when the interface has no
+  /// async-capable backend model (the base class: one perfect backend with
+  /// nothing to overlap); callers then fall back to the sync path.
+  ///
+  /// Caller contract: `misses` must be valid, distinct, uncached ids; the
+  /// call must be externally serialized with every other query-path entry
+  /// point (it mutates the cache and cost ledger); and the returned tasks
+  /// must all be run before the next checkpoint/stat read reaches the
+  /// backend ledgers.
+  virtual std::optional<DeferredFetch> PlanFetchMisses(
+      std::span<const NodeId> misses,
+      std::chrono::microseconds per_trip_latency);
 
   /// Copies out the checkpointable session state (cache + counters).
   virtual SessionSnapshot SnapshotSession() const;

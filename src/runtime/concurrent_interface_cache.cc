@@ -1,8 +1,10 @@
 #include "src/runtime/concurrent_interface_cache.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 
 namespace mto {
 
@@ -18,6 +20,21 @@ ConcurrentInterfaceCache::ConcurrentInterfaceCache(RestrictedInterface& base)
   // from here on; round trips are slept outside its mutex (see Query).
   SetSimulatedLatency(base.simulated_latency());
   base.SetSimulatedLatency(std::chrono::microseconds(0));
+}
+
+void ConcurrentInterfaceCache::SetFetchMode(FetchMode mode,
+                                            size_t fetch_threads) {
+  fetch_mode_ = mode;
+  if (mode == FetchMode::kAsync) {
+    const size_t threads =
+        std::min(kMaxFetchThreads,
+                 fetch_threads == 0 ? kMaxFetchThreads : fetch_threads);
+    if (fetch_queue_ == nullptr || fetch_queue_->size() != threads) {
+      fetch_queue_ = std::make_unique<TaskQueue>(threads);
+    }
+  } else {
+    fetch_queue_.reset();
+  }
 }
 
 bool ConcurrentInterfaceCache::IsCached(NodeId v) const {
@@ -120,6 +137,26 @@ std::optional<QueryResult> ConcurrentInterfaceCache::Query(NodeId v) {
     return MakeResult(v);
   }
   if (!ClaimFetch(v)) return MakeResult(v);  // cached while we waited
+  if (AsyncActive()) {
+    std::optional<DeferredFetch> deferred;
+    {
+      std::lock_guard<std::mutex> lock(base_mutex_);
+      const NodeId miss[1] = {v};
+      deferred = base_->PlanFetchMisses(miss, simulated_latency());
+    }
+    if (deferred) {
+      // Apply on this walker's thread, holding nothing but our in-flight
+      // claim: the ledger work locks only its backend's shard and the
+      // round-trip sleep overlaps with other walkers' fetches to other
+      // backends. Walkers racing to `v` wait in ClaimFetch until
+      // ResolveFetch, i.e. until the response "arrived".
+      for (auto& task : deferred->apply_tasks) task();
+      const bool ok = deferred->fetched[0] != 0;
+      ResolveFetch(v, ok);
+      if (!ok) return std::nullopt;
+      return MakeResult(v);
+    }
+  }
   std::optional<QueryResult> r;
   {
     std::lock_guard<std::mutex> lock(base_mutex_);
@@ -179,21 +216,40 @@ std::vector<std::optional<QueryResult>> ConcurrentInterfaceCache::BatchQuery(
   }
 
   if (!claimed.empty()) {
-    uint64_t trips = 0;
-    std::vector<std::optional<QueryResult>> backend;
-    {
+    std::optional<DeferredFetch> deferred;
+    if (AsyncActive()) {
       std::lock_guard<std::mutex> lock(base_mutex_);
-      const uint64_t before = base_->BackendRequests();
-      backend = base_->BatchQuery(claimed);
-      trips = base_->BackendRequests() - before;
+      deferred = base_->PlanFetchMisses(claimed, simulated_latency());
     }
-    if (simulated_latency().count() > 0) {
-      std::this_thread::sleep_for(simulated_latency() *
-                                  static_cast<int64_t>(trips));
-    }
-    for (size_t i = 0; i < claimed.size(); ++i) {
-      ResolveFetch(claimed[i], backend[i].has_value());
-      fetched[claimed[i]] = std::move(backend[i]);
+    if (deferred) {
+      // One deferred task per backend touched: each applies its own
+      // ledger's ops and sleeps its own channel's round trips on a
+      // completion-queue worker, so trips served by *different* backends
+      // overlap in real time and this join costs the max over backends
+      // instead of the sum — the async tentpole (DESIGN.md §9).
+      fetch_queue_->Dispatch(std::move(deferred->apply_tasks));
+      for (size_t i = 0; i < claimed.size(); ++i) {
+        const bool ok = deferred->fetched[i] != 0;
+        ResolveFetch(claimed[i], ok);
+        if (ok) fetched[claimed[i]] = MakeResult(claimed[i]);
+      }
+    } else {
+      uint64_t trips = 0;
+      std::vector<std::optional<QueryResult>> backend;
+      {
+        std::lock_guard<std::mutex> lock(base_mutex_);
+        const uint64_t before = base_->BackendRequests();
+        backend = base_->BatchQuery(claimed);
+        trips = base_->BackendRequests() - before;
+      }
+      if (simulated_latency().count() > 0) {
+        std::this_thread::sleep_for(simulated_latency() *
+                                    static_cast<int64_t>(trips));
+      }
+      for (size_t i = 0; i < claimed.size(); ++i) {
+        ResolveFetch(claimed[i], backend[i].has_value());
+        fetched[claimed[i]] = std::move(backend[i]);
+      }
     }
   }
   for (NodeId v : busy) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/net/restricted_interface.h"
+#include "src/util/task_queue.h"
 
 namespace mto {
 
@@ -33,13 +34,22 @@ namespace mto {
 ///    touched under one mutex, and simulated latency is paid *outside* that
 ///    mutex so concurrent misses to different nodes overlap their round
 ///    trips — the effect the throughput bench measures.
+///  * **Async fetch overlap (`SetFetchMode(kAsync)`).** When the wrapped
+///    session supports two-phase fetches (a service/BackendPool), a miss
+///    group is only *planned* under the ledger mutex — routing, budget,
+///    outcomes, cost — and the per-backend ledger/latency work runs outside
+///    it: a single miss applies on the calling walker's thread, a batched
+///    frontier dispatches one task per backend to a small completion queue
+///    and blocks on the join. Round trips served by different backends
+///    overlap in real time; results stay bit-identical to kSync because
+///    sync and async share the plan (see DESIGN.md §9).
 ///
 /// The wrapper takes over latency simulation from the wrapped session (the
 /// session's own latency is zeroed at construction) so a round trip is
 /// never paid twice.
 ///
-/// `Reset()` is *not* thread-safe: call it only while no walker is
-/// running.
+/// `Reset()` and `SetFetchMode()` are *not* thread-safe: call them only
+/// while no walker is running.
 class ConcurrentInterfaceCache final : public RestrictedInterface {
  public:
   /// Number of independent lock shards for the miss path.
@@ -48,6 +58,20 @@ class ConcurrentInterfaceCache final : public RestrictedInterface {
   /// Wraps `base`, which must outlive this object. Cache state already in
   /// `base` is honored (its flags are imported).
   explicit ConcurrentInterfaceCache(RestrictedInterface& base);
+
+  /// Selects the miss-fetch execution mode. kAsync spawns a completion
+  /// queue of `fetch_threads` workers used to join batched frontier
+  /// fetches; 0 falls back to kMaxFetchThreads — the cache cannot see the
+  /// backend fleet, so callers that can (CrawlService sizes one worker
+  /// per backend) should pass the real channel count. kAsync silently
+  /// behaves like kSync when the wrapped session has no async-capable
+  /// backend model. Call between rounds only.
+  void SetFetchMode(FetchMode mode, size_t fetch_threads = 0);
+  FetchMode fetch_mode() const { return fetch_mode_; }
+
+  /// Upper bound on async fetch workers (backend channels worth of
+  /// overlap; more would only contend on the ledger shards).
+  static constexpr size_t kMaxFetchThreads = 16;
 
   std::optional<QueryResult> Query(NodeId v) override;
   /// Allocation-free read path: cache hits return a borrowed view without
@@ -96,11 +120,18 @@ class ConcurrentInterfaceCache final : public RestrictedInterface {
   /// Publishes the outcome of a claimed fetch and wakes waiters.
   void ResolveFetch(NodeId v, bool fetched);
 
+  /// True iff misses should go through the two-phase plan/apply path.
+  bool AsyncActive() const {
+    return fetch_mode_ == FetchMode::kAsync && fetch_queue_ != nullptr;
+  }
+
   RestrictedInterface* base_;
   std::unique_ptr<std::atomic<uint8_t>[]> cached_flags_;
   std::atomic<uint64_t> total_requests_{0};
   mutable std::mutex base_mutex_;
   Shard shards_[kShards];
+  FetchMode fetch_mode_ = FetchMode::kSync;
+  std::unique_ptr<TaskQueue> fetch_queue_;
 };
 
 }  // namespace mto

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "src/runtime/concurrent_interface_cache.h"
+
 namespace mto {
 
 CrawlScheduler::CrawlScheduler(RestrictedInterface& interface,
@@ -14,6 +16,12 @@ CrawlScheduler::CrawlScheduler(RestrictedInterface& interface,
   }
   if (!factory) {
     throw std::invalid_argument("CrawlScheduler: null walker factory");
+  }
+  // The scheduler owns the execution shape (threads, stepping mode, fetch
+  // mode); when the session is the concurrent cache, configure its fetch
+  // path here so every construction site inherits the CrawlConfig choice.
+  if (auto* cache = dynamic_cast<ConcurrentInterfaceCache*>(&interface)) {
+    cache->SetFetchMode(config.fetch_mode, config.fetch_threads);
   }
   // Fork per-walker streams in index order: walker i's stream is a function
   // of (seed, i) only, never of num_walkers' layout or num_threads.

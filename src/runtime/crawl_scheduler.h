@@ -28,6 +28,15 @@ struct CrawlConfig {
   /// the winning mode when the crawl is CPU-bound. Trajectories are
   /// bit-identical either way.
   bool coalesce_frontier = false;
+  /// Miss-fetch execution mode, applied to the interface when it is a
+  /// ConcurrentInterfaceCache: kAsync overlaps round trips of misses
+  /// served by different backends (multi-backend sessions only; a
+  /// single-backend session silently behaves like kSync). Samples, costs,
+  /// and per-backend ledgers are bit-identical across modes — the fetch
+  /// mode, like num_threads, is pure execution shape (DESIGN.md §9).
+  FetchMode fetch_mode = FetchMode::kSync;
+  /// Async fetch workers; 0 = auto (see ConcurrentInterfaceCache).
+  size_t fetch_threads = 0;
 };
 
 /// Shards W walkers across a fixed thread pool, deterministically.

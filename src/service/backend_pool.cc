@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <thread>
+#include <utility>
 
 #include "src/util/rng.h"
 
@@ -58,31 +60,60 @@ BackendPool::BackendPool(const SocialNetwork& network,
   for (size_t b = 0; b < configs_.size(); ++b) {
     ledgers_[b].bucket_tokens = configs_[b].burst;  // buckets start full
   }
+  ledger_mutexes_ = std::make_unique<std::mutex[]>(configs_.size());
+  plan_scratch_.resize(configs_.size());
+  SyncRoutingCounters();
+}
+
+void BackendPool::SyncRoutingCounters() {
+  routed_requests_.assign(ledgers_.size(), 0);
+  routed_unique_.assign(ledgers_.size(), 0);
+  for (size_t b = 0; b < ledgers_.size(); ++b) {
+    routed_requests_[b] = ledgers_[b].stats.requests;
+    routed_unique_[b] = ledgers_[b].stats.unique_queries;
+  }
+}
+
+BackendStats BackendPool::backend_stats(size_t b) const {
+  std::lock_guard<std::mutex> lock(ledger_mutexes_[b]);
+  return ledgers_[b].stats;
 }
 
 std::vector<BackendStats> BackendPool::AllBackendStats() const {
   std::vector<BackendStats> stats;
   stats.reserve(ledgers_.size());
-  for (const auto& ledger : ledgers_) stats.push_back(ledger.stats);
+  for (size_t b = 0; b < ledgers_.size(); ++b) stats.push_back(backend_stats(b));
   return stats;
 }
 
 uint64_t BackendPool::BackendRequests() const {
   uint64_t total = 0;
-  for (const auto& ledger : ledgers_) total += ledger.stats.requests;
+  for (size_t b = 0; b < ledgers_.size(); ++b) {
+    std::lock_guard<std::mutex> lock(ledger_mutexes_[b]);
+    total += ledgers_[b].stats.requests;
+  }
   return total;
 }
 
 uint64_t BackendPool::SimulatedTimeUs() const {
   uint64_t max_clock = 0;
-  for (const auto& ledger : ledgers_) {
-    max_clock = std::max(max_clock, ledger.clock_us);
+  for (size_t b = 0; b < ledgers_.size(); ++b) {
+    std::lock_guard<std::mutex> lock(ledger_mutexes_[b]);
+    max_clock = std::max(max_clock, ledgers_[b].clock_us);
   }
   return max_clock;
 }
 
 BackendPool::PoolSnapshot BackendPool::SnapshotBackends() const {
-  return {ledgers_, round_robin_cursor_, failed_fetches_};
+  PoolSnapshot snapshot;
+  snapshot.ledgers.reserve(ledgers_.size());
+  for (size_t b = 0; b < ledgers_.size(); ++b) {
+    std::lock_guard<std::mutex> lock(ledger_mutexes_[b]);
+    snapshot.ledgers.push_back(ledgers_[b]);
+  }
+  snapshot.round_robin_cursor = round_robin_cursor_;
+  snapshot.failed_fetches = failed_fetches_;
+  return snapshot;
 }
 
 void BackendPool::RestoreBackends(const PoolSnapshot& snapshot) {
@@ -93,6 +124,7 @@ void BackendPool::RestoreBackends(const PoolSnapshot& snapshot) {
   ledgers_ = snapshot.ledgers;
   round_robin_cursor_ = snapshot.round_robin_cursor;
   failed_fetches_ = snapshot.failed_fetches;
+  SyncRoutingCounters();
 }
 
 void BackendPool::Reset() {
@@ -103,6 +135,7 @@ void BackendPool::Reset() {
   }
   round_robin_cursor_ = 0;
   failed_fetches_ = 0;
+  SyncRoutingCounters();
 }
 
 void BackendPool::SelectionOrder(NodeId v, std::vector<size_t>& order) {
@@ -116,10 +149,10 @@ void BackendPool::SelectionOrder(NodeId v, std::vector<size_t>& order) {
       primary = static_cast<size_t>(round_robin_cursor_++ % n);
       break;
     case BackendSelection::kLeastLoaded: {
-      uint64_t best = ledgers_[0].stats.requests;
+      uint64_t best = routed_requests_[0];
       for (size_t b = 1; b < n; ++b) {
-        if (ledgers_[b].stats.requests < best) {
-          best = ledgers_[b].stats.requests;
+        if (routed_requests_[b] < best) {
+          best = routed_requests_[b];
           primary = b;
         }
       }
@@ -128,14 +161,14 @@ void BackendPool::SelectionOrder(NodeId v, std::vector<size_t>& order) {
     case BackendSelection::kBudgetAware: {
       auto remaining = [&](size_t b) -> uint64_t {
         if (!configs_[b].budget) return UINT64_MAX;
-        const uint64_t spent = ledgers_[b].stats.unique_queries;
+        const uint64_t spent = routed_unique_[b];
         return *configs_[b].budget > spent ? *configs_[b].budget - spent : 0;
       };
       uint64_t best = remaining(0);
       for (size_t b = 1; b < n; ++b) {
         const uint64_t r = remaining(b);
-        if (r > best || (r == best && ledgers_[b].stats.unique_queries <
-                                          ledgers_[primary].stats.unique_queries)) {
+        if (r > best || (r == best && routed_unique_[b] <
+                                          routed_unique_[primary])) {
           best = r;
           primary = b;
         }
@@ -172,51 +205,82 @@ void BackendPool::PaceRequest(size_t b) {
   ledger.bucket_tokens -= 1.0;
 }
 
-bool BackendPool::FetchOne(NodeId v) {
+BackendPool::AttemptDraw BackendPool::DrawAttempt(size_t b, NodeId v,
+                                                  uint64_t attempt) const {
+  const BackendConfig& config = configs_[b];
+  // One pure-function stream per (backend, node, attempt): latency first,
+  // then the fault draw — arrival order never enters.
+  Rng stream = Rng(fault_seed_).Fork(b).Fork(v).Fork(attempt);
+  AttemptDraw draw;
+  draw.latency_us = config.latency_mean_us;
+  if (config.latency_mean_us > 0 && config.latency_sigma > 0.0) {
+    const double sigma = config.latency_sigma;
+    const double mu = std::log(static_cast<double>(config.latency_mean_us)) -
+                      0.5 * sigma * sigma;  // keeps the mean at latency_mean_us
+    draw.latency_us = static_cast<uint64_t>(stream.LogNormal(mu, sigma));
+  }
+  const double u = stream.UniformDouble();
+  if (u < config.timeout_rate) {
+    draw.fault = Fault::kTimeout;
+  } else if (u < config.timeout_rate + config.error_rate) {
+    draw.fault = Fault::kTransientError;
+  } else if (u < config.timeout_rate + config.error_rate +
+                     config.quota_rate) {
+    draw.fault = Fault::kQuotaRejected;
+  }
+  return draw;
+}
+
+bool BackendPool::PlanOne(NodeId v,
+                          std::vector<std::vector<LedgerOp>>& per_backend) {
   SelectionOrder(v, order_scratch_);
-  size_t attempt = 0;
+  uint64_t attempt = 0;
   for (size_t b : order_scratch_) {
     const BackendConfig& config = configs_[b];
-    BackendLedger& ledger = ledgers_[b];
     for (size_t a = 0; a < retry_.max_attempts_per_backend; ++a, ++attempt) {
-      if (config.budget &&
-          ledger.stats.unique_queries >= *config.budget) {
-        ++ledger.stats.budget_refusals;
+      if (config.budget && routed_unique_[b] >= *config.budget) {
+        per_backend[b].push_back(
+            {v, static_cast<uint32_t>(attempt), 1, AttemptDraw{}});
         break;  // this key is spent; fail over
       }
-      PaceRequest(b);
-      // One pure-function stream per (backend, node, attempt): latency
-      // first, then the fault draw — arrival order never enters.
-      Rng stream = Rng(fault_seed_).Fork(b).Fork(v).Fork(attempt);
-      uint64_t latency_us = config.latency_mean_us;
-      if (config.latency_mean_us > 0 && config.latency_sigma > 0.0) {
-        const double sigma = config.latency_sigma;
-        const double mu =
-            std::log(static_cast<double>(config.latency_mean_us)) -
-            0.5 * sigma * sigma;  // keeps the mean at latency_mean_us
-        latency_us = static_cast<uint64_t>(stream.LogNormal(mu, sigma));
-      }
-      ledger.clock_us += latency_us;
-      ledger.stats.simulated_us += latency_us;
-      ++ledger.stats.requests;
-
-      const double u = stream.UniformDouble();
-      Fault fault = Fault::kNone;
-      if (u < config.timeout_rate) {
-        fault = Fault::kTimeout;
-      } else if (u < config.timeout_rate + config.error_rate) {
-        fault = Fault::kTransientError;
-      } else if (u < config.timeout_rate + config.error_rate +
-                         config.quota_rate) {
-        fault = Fault::kQuotaRejected;
-      }
-      if (fault == Fault::kNone) {
-        ++ledger.stats.unique_queries;
+      ++routed_requests_[b];
+      const AttemptDraw draw = DrawAttempt(b, v, attempt);
+      per_backend[b].push_back({v, static_cast<uint32_t>(attempt), 0, draw});
+      if (draw.fault == Fault::kNone) {
+        ++routed_unique_[b];
         MarkFetched(v);
         return true;
       }
+    }
+  }
+  ++failed_fetches_;
+  return false;
+}
+
+void BackendPool::ApplyOps(size_t b, std::span<const LedgerOp> ops,
+                           std::chrono::microseconds per_trip_latency) {
+  int64_t trips = 0;
+  {
+    std::lock_guard<std::mutex> lock(ledger_mutexes_[b]);
+    const BackendConfig& config = configs_[b];
+    BackendLedger& ledger = ledgers_[b];
+    for (const LedgerOp& op : ops) {
+      if (op.refusal != 0) {
+        ++ledger.stats.budget_refusals;
+        continue;
+      }
+      PaceRequest(b);
+      const AttemptDraw& draw = op.draw;
+      ledger.clock_us += draw.latency_us;
+      ledger.stats.simulated_us += draw.latency_us;
+      ++ledger.stats.requests;
+      ++trips;
+      if (draw.fault == Fault::kNone) {
+        ++ledger.stats.unique_queries;
+        continue;
+      }
       ++ledger.stats.failed_requests;
-      switch (fault) {
+      switch (draw.fault) {
         case Fault::kTimeout:
           ++ledger.stats.timeouts;
           ledger.clock_us += config.timeout_us;
@@ -231,20 +295,50 @@ bool BackendPool::FetchOne(NodeId v) {
         case Fault::kNone:
           break;
       }
-      const uint64_t backoff_us = retry_.BackoffUs(fault_seed_, v, attempt);
+      const uint64_t backoff_us =
+          retry_.BackoffUs(fault_seed_, op.node, op.attempt);
       ledger.clock_us += backoff_us;
       ledger.stats.simulated_us += backoff_us;
     }
   }
-  ++failed_fetches_;
-  return false;
+  // The real-time price of this backend's round trips, paid outside the
+  // ledger lock so only same-backend trips serialize on the ledger math.
+  if (per_trip_latency.count() > 0 && trips > 0) {
+    std::this_thread::sleep_for(per_trip_latency * trips);
+  }
 }
 
 void BackendPool::FetchMisses(std::span<const NodeId> misses) {
+  for (auto& ops : plan_scratch_) ops.clear();
   for (NodeId v : misses) {
-    if (BudgetExhausted()) return;  // pool-wide cap, same as the base model
-    FetchOne(v);
+    if (BudgetExhausted()) break;  // pool-wide cap, same as the base model
+    PlanOne(v, plan_scratch_);
   }
+  for (size_t b = 0; b < plan_scratch_.size(); ++b) {
+    if (!plan_scratch_[b].empty()) {
+      ApplyOps(b, plan_scratch_[b], std::chrono::microseconds(0));
+    }
+  }
+}
+
+std::optional<DeferredFetch> BackendPool::PlanFetchMisses(
+    std::span<const NodeId> misses,
+    std::chrono::microseconds per_trip_latency) {
+  DeferredFetch out;
+  out.fetched.assign(misses.size(), 0);
+  std::vector<std::vector<LedgerOp>> per_backend(configs_.size());
+  for (size_t i = 0; i < misses.size(); ++i) {
+    if (BudgetExhausted()) break;
+    out.fetched[i] = PlanOne(misses[i], per_backend) ? 1 : 0;
+  }
+  for (size_t b = 0; b < per_backend.size(); ++b) {
+    if (per_backend[b].empty()) continue;
+    out.apply_tasks.push_back(
+        [this, b, ops = std::move(per_backend[b]), per_trip_latency] {
+          ApplyOps(b, ops, per_trip_latency);
+        });
+  }
+  return out;
 }
 
 }  // namespace mto

@@ -1,6 +1,9 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -107,10 +110,27 @@ const char* BackendSelectionName(BackendSelection selection);
 /// interleaving-dependent quantity, the same caveat the plain budget
 /// carries (see CrawlScheduler).
 ///
-/// Like the base class, a BackendPool is single-threaded; wrap it in a
-/// runtime/ConcurrentInterfaceCache to share it between walkers. Simulated
-/// time (latency, backoff, pacing) is charged to per-backend virtual
-/// clocks, not slept, so scenario sweeps run at full CPU speed.
+/// Internally every fetch is split into two halves (DESIGN.md §9):
+///  * a **routing front** — selection, budget checks, fault-draw outcomes,
+///    cache marking, unique-cost accounting — that runs synchronously on
+///    the caller and reads only its own per-backend counters (never the
+///    ledgers), so outcomes are decided before any ledger is touched; and
+///  * **per-backend ledger application** — pacing, virtual clocks, stats —
+///    behind one fine-grained mutex per backend, with no cross-backend
+///    state, so ledgers of different backends can be applied concurrently.
+/// The sync path (`FetchMisses`) runs both halves inline; the async path
+/// (`PlanFetchMisses`) returns the second half as per-backend tasks for a
+/// concurrent executor. Because the two paths share the plan verbatim and
+/// a backend's ledger evolution depends only on its own op sequence, the
+/// async path's outcomes, costs, and ledgers are bit-identical to sync.
+///
+/// Like the base class, routing is single-threaded: serialize query-path
+/// entry points externally (runtime/ConcurrentInterfaceCache does). Only
+/// the deferred apply tasks may run concurrently. Simulated time (latency,
+/// backoff, pacing) is charged to per-backend virtual clocks, not slept,
+/// so scenario sweeps run at full CPU speed; the async path additionally
+/// sleeps the wrapper-provided per-trip latency inside each backend's
+/// apply task, which is what makes distinct backends overlap in real time.
 class BackendPool final : public RestrictedInterface {
  public:
   /// `backends` must be non-empty; configs are validated.
@@ -120,9 +140,9 @@ class BackendPool final : public RestrictedInterface {
 
   size_t num_backends() const { return configs_.size(); }
   const BackendConfig& backend_config(size_t b) const { return configs_[b]; }
-  const BackendStats& backend_stats(size_t b) const {
-    return ledgers_[b].stats;
-  }
+  /// Copied under the backend's ledger mutex (safe against in-flight
+  /// async applies, though steady only at quiescence).
+  BackendStats backend_stats(size_t b) const;
   std::vector<BackendStats> AllBackendStats() const;
   BackendSelection selection() const { return selection_; }
 
@@ -150,33 +170,82 @@ class BackendPool final : public RestrictedInterface {
 
   void Reset() override;
 
+  /// The async fetch entry point (see RestrictedInterface): plans every
+  /// miss on the calling thread and returns one deferred ledger/latency
+  /// task per backend touched, in-plan-order within each backend.
+  std::optional<DeferredFetch> PlanFetchMisses(
+      std::span<const NodeId> misses,
+      std::chrono::microseconds per_trip_latency) override;
+
  protected:
-  /// The multi-backend fetch path: each miss independently runs the
-  /// select → pace → latency → fault-draw → backoff/failover loop.
+  /// The sync multi-backend fetch path: each miss runs the select →
+  /// budget → fault-draw plan, and its ledger work (pace, latency,
+  /// backoff) is applied inline. Same plan/apply code as the async path.
   void FetchMisses(std::span<const NodeId> misses) override;
 
  private:
   enum class Fault { kNone, kTimeout, kTransientError, kQuotaRejected };
 
+  /// The pure per-attempt draw: latency and fault outcome from the
+  /// (fault_seed, backend, node, attempt) stream. Arrival order and
+  /// ledger state never enter.
+  struct AttemptDraw {
+    uint64_t latency_us = 0;
+    Fault fault = Fault::kNone;
+  };
+  AttemptDraw DrawAttempt(size_t b, NodeId v, uint64_t attempt) const;
+
+  /// One deferred ledger mutation: a request attempt (pace + latency +
+  /// fault bookkeeping) or a budget refusal. Applied under the owning
+  /// backend's ledger mutex. The plan's draw rides along so the apply
+  /// never recomputes the RNG stream.
+  struct LedgerOp {
+    NodeId node = 0;
+    uint32_t attempt = 0;  ///< global attempt index of this node's fetch
+    uint8_t refusal = 0;   ///< 1 = budget refusal (no request issued)
+    AttemptDraw draw;      ///< unused when refusal
+  };
+
   /// Order in which backends are tried for node v (primary first, then
-  /// failover in index order).
+  /// failover in index order). Reads the routing counters, not ledgers.
   void SelectionOrder(NodeId v, std::vector<size_t>& order);
 
-  /// Runs the retry/failover loop for one node. Returns true and marks the
-  /// node fetched on success.
-  bool FetchOne(NodeId v);
+  /// Routing front for one node: runs the retry/failover loop against the
+  /// routing counters, appends the resulting ledger ops per backend, and
+  /// on success marks the node fetched. Returns true iff fetched.
+  bool PlanOne(NodeId v, std::vector<std::vector<LedgerOp>>& per_backend);
 
-  /// Token-bucket pacing on the backend's virtual clock.
+  /// Applies one backend's planned ops to its ledger, under that ledger's
+  /// mutex, then sleeps `per_trip_latency` once per applied request (the
+  /// real-time cost of this backend's round trips, paid outside the lock).
+  void ApplyOps(size_t b, std::span<const LedgerOp> ops,
+                std::chrono::microseconds per_trip_latency);
+
+  /// Token-bucket pacing on the backend's virtual clock. Caller holds the
+  /// backend's ledger mutex.
   void PaceRequest(size_t b);
+
+  /// Re-derives the routing counters from the ledgers (construction,
+  /// Reset, RestoreBackends — all quiescent points where they agree).
+  void SyncRoutingCounters();
 
   std::vector<BackendConfig> configs_;
   std::vector<BackendLedger> ledgers_;
+  /// One lock per ledger; never held across backends, so apply tasks of
+  /// different backends are fully independent.
+  mutable std::unique_ptr<std::mutex[]> ledger_mutexes_;
   RetryPolicy retry_;
   BackendSelection selection_;
   uint64_t fault_seed_;
   uint64_t round_robin_cursor_ = 0;
   uint64_t failed_fetches_ = 0;
+  /// Routing-front mirrors of ledger counters (requests / unique queries
+  /// per backend), updated at plan time so selection and budget decisions
+  /// never wait on — or race with — deferred ledger applies.
+  std::vector<uint64_t> routed_requests_;
+  std::vector<uint64_t> routed_unique_;
   std::vector<size_t> order_scratch_;
+  std::vector<std::vector<LedgerOp>> plan_scratch_;
 };
 
 }  // namespace mto

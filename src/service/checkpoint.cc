@@ -36,11 +36,19 @@ class Writer {
 
 class Reader {
  public:
-  explicit Reader(std::istream& in) : in_(&in) {}
+  /// `remaining` is the byte count left in the stream (file size minus any
+  /// header already consumed); every read is checked against it so a
+  /// corrupted length can never drive reads past the end of the file.
+  Reader(std::istream& in, uint64_t remaining)
+      : in_(&in), remaining_(remaining) {}
 
   uint8_t U8() {
+    if (remaining_ == 0) {
+      throw std::runtime_error("checkpoint: truncated file");
+    }
     int c = in_->get();
     if (c == EOF) throw std::runtime_error("checkpoint: truncated file");
+    --remaining_;
     return static_cast<uint8_t>(c);
   }
   uint32_t U32() {
@@ -59,15 +67,22 @@ class Reader {
     std::memcpy(&v, &bits, sizeof(v));
     return v;
   }
-  /// Guards vector resizes against corrupted counts.
-  uint64_t Count(uint64_t sane_max) {
+  /// Guards vector resizes against corrupted counts: a count of n elements
+  /// of at least `min_element_bytes` each must fit in the bytes that are
+  /// actually left in the file. This bounds every allocation by the file
+  /// size, so a flipped length byte fails loudly instead of attempting a
+  /// multi-gigabyte resize (pinned by checkpoint_test's corruption fuzz).
+  uint64_t Count(uint64_t sane_max, uint64_t min_element_bytes) {
     const uint64_t n = U64();
-    if (n > sane_max) throw std::runtime_error("checkpoint: implausible count");
+    if (n > sane_max || n * min_element_bytes > remaining_) {
+      throw std::runtime_error("checkpoint: implausible count");
+    }
     return n;
   }
 
  private:
   std::istream* in_;
+  uint64_t remaining_;
 };
 
 constexpr uint64_t kMaxCount = uint64_t{1} << 33;  // corruption guard
@@ -187,13 +202,19 @@ void ServiceCheckpoint::Save(const std::string& path) const {
 ServiceCheckpoint ServiceCheckpoint::Load(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("checkpoint: cannot read " + path);
+  in.seekg(0, std::ios::end);
+  const std::streamoff file_size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  if (file_size < static_cast<std::streamoff>(sizeof(kMagic))) {
+    throw std::runtime_error("checkpoint: bad magic in " + path);
+  }
   char magic[sizeof(kMagic)];
   in.read(magic, sizeof(magic));
   if (in.gcount() != sizeof(magic) ||
       std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     throw std::runtime_error("checkpoint: bad magic in " + path);
   }
-  Reader r(in);
+  Reader r(in, static_cast<uint64_t>(file_size) - sizeof(kMagic));
   const uint32_t version = r.U32();
   if (version != kVersion) {
     throw std::runtime_error(
@@ -204,13 +225,13 @@ ServiceCheckpoint ServiceCheckpoint::Load(const std::string& path) {
   ServiceCheckpoint ckpt;
   ckpt.config_fingerprint = r.U64();
 
-  ckpt.session.cached_ids.resize(r.Count(kMaxCount));
+  ckpt.session.cached_ids.resize(r.Count(kMaxCount, 4));
   for (NodeId& v : ckpt.session.cached_ids) v = r.U32();
   ckpt.session.unique_queries = r.U64();
   ckpt.session.total_requests = r.U64();
   ckpt.session.backend_requests = r.U64();
 
-  ckpt.ledgers.resize(r.Count(1 << 20));
+  ckpt.ledgers.resize(r.Count(1 << 20, 96));
   for (BackendLedger& ledger : ckpt.ledgers) {
     BackendStats& s = ledger.stats;
     s.unique_queries = r.U64();
@@ -229,7 +250,7 @@ ServiceCheckpoint ServiceCheckpoint::Load(const std::string& path) {
   ckpt.round_robin_cursor = r.U64();
   ckpt.failed_fetches = r.U64();
 
-  ckpt.walkers.resize(r.Count(1 << 24));
+  ckpt.walkers.resize(r.Count(1 << 24, 36));
   for (auto& walker : ckpt.walkers) {
     walker.position = r.U32();
     for (uint64_t& word : walker.rng_state) word = r.U64();
@@ -247,9 +268,9 @@ ServiceCheckpoint ServiceCheckpoint::Load(const std::string& path) {
   ckpt.burn_in_rounds = r.U64();
   ckpt.burn_in_query_cost = r.U64();
 
-  ckpt.diagnostics.resize(r.Count(kMaxCount));
+  ckpt.diagnostics.resize(r.Count(kMaxCount, 8));
   for (double& d : ckpt.diagnostics) d = r.F64();
-  ckpt.samples.resize(r.Count(kMaxCount));
+  ckpt.samples.resize(r.Count(kMaxCount, 28));
   for (SampleRecord& sample : ckpt.samples) {
     sample.value = r.F64();
     sample.weight = r.F64();
@@ -260,23 +281,24 @@ ServiceCheckpoint ServiceCheckpoint::Load(const std::string& path) {
   // Overlay section (v2): verify the checksum before anything downstream
   // can rebuild a topology from it.
   SectionChecksum checksum;
-  auto mixed_count = [&](uint64_t sane_max) {
-    const uint64_t n = r.Count(sane_max);
+  auto mixed_count = [&](uint64_t sane_max, uint64_t min_element_bytes) {
+    const uint64_t n = r.Count(sane_max, min_element_bytes);
     checksum.Mix(n);
     return n;
   };
-  ckpt.overlays.resize(mixed_count(1 << 24));
+  // Every overlay record carries at least a frozen byte and four counts.
+  ckpt.overlays.resize(mixed_count(1 << 24, 33));
   for (OverlayRecord& overlay : ckpt.overlays) {
     overlay.frozen = r.U8();
     checksum.Mix(overlay.frozen);
-    overlay.delta.registered.resize(mixed_count(kMaxCount));
+    overlay.delta.registered.resize(mixed_count(kMaxCount, 4));
     for (NodeId& v : overlay.delta.registered) {
       v = r.U32();
       checksum.Mix(v);
     }
     for (auto* keys : {&overlay.delta.removed, &overlay.delta.added,
                        &overlay.delta.processed}) {
-      keys->resize(mixed_count(kMaxCount));
+      keys->resize(mixed_count(kMaxCount, 8));
       for (uint64_t& key : *keys) {
         key = r.U64();
         checksum.Mix(key);

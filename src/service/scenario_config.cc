@@ -58,6 +58,13 @@ Attribute ParseAttribute(const std::string& s) {
                               "\"");
 }
 
+FetchMode ParseFetchMode(const std::string& s) {
+  if (s == "sync") return FetchMode::kSync;
+  if (s == "async") return FetchMode::kAsync;
+  throw std::invalid_argument("ScenarioConfig: unknown fetch_mode \"" + s +
+                              "\"");
+}
+
 BackendSelection ParseSelection(const std::string& s) {
   if (s == "sharded") return BackendSelection::kSharded;
   if (s == "round_robin") return BackendSelection::kRoundRobin;
@@ -114,10 +121,10 @@ const char* AttributeKey(Attribute attribute) {
 ScenarioConfig ScenarioConfig::FromJson(const JsonValue& root) {
   CheckKeys(root, "the document",
             {"dataset", "seed", "sampler", "attribute", "jump_probability",
-             "walkers", "threads", "coalesce_frontier", "queue_capacity",
-             "geweke", "max_burn_in_rounds", "num_samples", "thinning",
-             "total_budget", "backends", "strategy", "retry", "fault_seed",
-             "checkpoint"});
+             "walkers", "threads", "coalesce_frontier", "fetch_mode",
+             "fetch_threads", "queue_capacity", "geweke",
+             "max_burn_in_rounds", "num_samples", "thinning", "total_budget",
+             "backends", "strategy", "retry", "fault_seed", "checkpoint"});
   ScenarioConfig config;
   if (root.Has("dataset")) config.dataset = root.At("dataset").AsString();
   if (root.Has("seed")) config.seed = root.At("seed").AsUint();
@@ -134,6 +141,12 @@ ScenarioConfig ScenarioConfig::FromJson(const JsonValue& root) {
   if (root.Has("threads")) config.num_threads = root.At("threads").AsUint();
   if (root.Has("coalesce_frontier")) {
     config.coalesce_frontier = root.At("coalesce_frontier").AsBool();
+  }
+  if (root.Has("fetch_mode")) {
+    config.fetch_mode = ParseFetchMode(root.At("fetch_mode").AsString());
+  }
+  if (root.Has("fetch_threads")) {
+    config.fetch_threads = root.At("fetch_threads").AsUint();
   }
   if (root.Has("queue_capacity")) {
     config.queue_capacity = root.At("queue_capacity").AsUint();
@@ -273,9 +286,10 @@ uint64_t ScenarioConfig::Fingerprint() const {
     fnv.Mix(backend.quota_rate);
     fnv.Mix(backend.timeout_us);
   }
-  // num_threads, coalesce_frontier, and queue_capacity are deliberately
-  // excluded: results are bit-identical across them (the runtime contract),
-  // so a checkpoint from a 1-thread run may resume on 8 threads.
+  // num_threads, coalesce_frontier, fetch_mode, fetch_threads, and
+  // queue_capacity are deliberately excluded: results are bit-identical
+  // across them (the runtime contract), so a checkpoint from a 1-thread
+  // sync run may resume on 8 threads with async fetches, and vice versa.
   return fnv.hash();
 }
 

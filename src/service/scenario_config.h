@@ -35,6 +35,7 @@ struct CheckpointConfig {
 ///   "sampler": "srw",
 ///   "attribute": "degree",
 ///   "walkers": 16, "threads": 4, "coalesce_frontier": false,
+///   "fetch_mode": "async", "fetch_threads": 0,
 ///   "geweke": {"threshold": 0.1, "min_length": 200, "check_every": 50},
 ///   "max_burn_in_rounds": 2000,
 ///   "num_samples": 200, "thinning": 25,
@@ -62,6 +63,14 @@ struct ScenarioConfig {
   size_t num_walkers = 8;
   size_t num_threads = 1;
   bool coalesce_frontier = false;
+  /// Miss-fetch execution: "sync" serializes backend fetches under the
+  /// session ledger lock; "async" plans them there but overlaps the
+  /// round-trip work of distinct backends on a completion queue. Results
+  /// are bit-identical across modes (fetch_equivalence_test pins this), so
+  /// like num_threads it is excluded from the checkpoint fingerprint.
+  FetchMode fetch_mode = FetchMode::kSync;
+  /// Async fetch workers; 0 = one per backend (capped by the runtime).
+  size_t fetch_threads = 0;
   size_t queue_capacity = 4096;
 
   double geweke_threshold = 0.1;

@@ -1,0 +1,60 @@
+#include "src/util/task_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mto {
+
+TaskQueue::TaskQueue(size_t num_threads) {
+  if (num_threads == 0) {
+    throw std::invalid_argument("TaskQueue: num_threads must be >= 1");
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+TaskQueue::~TaskQueue() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void TaskQueue::Dispatch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  auto batch = std::make_shared<Batch>();
+  batch->remaining = tasks.size();
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (auto& task : tasks) {
+    queue_.push_back({std::move(task), batch});
+  }
+  work_cv_.notify_all();
+  batch->done_cv.wait(lock, [&] { return batch->remaining == 0; });
+  if (batch->first_error) std::rethrow_exception(batch->first_error);
+}
+
+void TaskQueue::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [&] { return shutting_down_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // shutting down and drained
+    Item item = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      item.fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    if (error && !item.batch->first_error) item.batch->first_error = error;
+    if (--item.batch->remaining == 0) item.batch->done_cv.notify_all();
+  }
+}
+
+}  // namespace mto

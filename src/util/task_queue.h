@@ -1,0 +1,74 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mto {
+
+/// A small completion-queue executor: a fixed set of worker threads serving
+/// a shared task queue, with per-dispatch completion tracking.
+///
+/// `Dispatch(tasks)` enqueues every task, blocks until all of *this
+/// dispatch's* tasks finished, and rethrows the first exception one of them
+/// threw. Unlike util/ThreadPool — whose `Run` executes one region at a
+/// time from a single coordinator and must never be entered from inside a
+/// region — a TaskQueue accepts concurrent `Dispatch` calls from any
+/// threads, including threads currently inside a ThreadPool region. That is
+/// exactly the shape the async fetch path needs: walker threads (already in
+/// a region) hand per-backend fetch work to the queue and block only on
+/// their own join (see runtime/ConcurrentInterfaceCache and DESIGN.md §9).
+///
+/// Tasks from concurrent dispatches interleave on the workers in FIFO
+/// order; tasks must therefore be independent of each other (the async
+/// fetch path guarantees this by sharding work per backend).
+class TaskQueue {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit TaskQueue(size_t num_threads);
+
+  /// Blocks until queued tasks finish (every Dispatch has returned by
+  /// contract: destroying the queue while a Dispatch is blocked in another
+  /// thread is undefined), then joins the workers.
+  ~TaskQueue();
+
+  TaskQueue(const TaskQueue&) = delete;
+  TaskQueue& operator=(const TaskQueue&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Runs every task on the workers and returns when all of them finished.
+  /// The first exception thrown by one of *these* tasks is rethrown here
+  /// (remaining tasks of the dispatch still run). Safe to call from
+  /// multiple threads concurrently; an empty task list returns immediately.
+  void Dispatch(std::vector<std::function<void()>> tasks);
+
+ private:
+  /// Join state of one Dispatch call, shared with its queued tasks.
+  struct Batch {
+    size_t remaining = 0;
+    std::exception_ptr first_error;
+    std::condition_variable done_cv;
+  };
+
+  struct Item {
+    std::function<void()> fn;
+    std::shared_ptr<Batch> batch;
+  };
+
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<Item> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mto

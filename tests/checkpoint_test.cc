@@ -4,8 +4,11 @@
 
 #include <cstdio>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "src/util/rng.h"
 
 namespace mto {
 namespace {
@@ -136,6 +139,98 @@ TEST(CheckpointTest, FutureVersionFailsLoudly) {
   bytes[8] = 1;
   WriteAll(path, bytes);
   EXPECT_THROW(ServiceCheckpoint::Load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+/// Canonical re-encoding of a checkpoint: Save is deterministic, so two
+/// structurally equal checkpoints serialize to identical bytes.
+std::vector<char> Reserialize(const ServiceCheckpoint& ckpt,
+                              const std::string& path) {
+  ckpt.Save(path);
+  return ReadAll(path);
+}
+
+// Seeded corruption fuzz over the v2 image: random byte flips (1-8 bytes)
+// and random truncations, ~1k mutants. The loader's contract under
+// corruption is "reject loudly or round-trip": every mutant must either
+// throw std::runtime_error (detected corruption: bad magic/version,
+// truncation, implausible count, checksum mismatch) or yield a checkpoint
+// that re-serializes canonically — i.e. the loader accepted a
+// *well-formed* image and parsed all of it. It must never crash, hang,
+// over-allocate past the file size, or silently misparse structure.
+//
+// (Semantic integrity of non-overlay payload bytes is the fingerprint's
+// and the overlay checksum's job; a flipped stat value is a well-formed
+// different checkpoint, which the round-trip arm accepts by design.)
+TEST(CheckpointFuzzTest, RandomCorruptionNeverCrashesTheLoader) {
+  const std::string path = TempPath("fuzz");
+  const std::string canon_path = TempPath("fuzz_canon");
+  MakeCheckpoint().Save(path);
+  const std::vector<char> pristine = ReadAll(path);
+  ASSERT_GT(pristine.size(), 64u);
+
+  Rng rng(0xF0220);
+  size_t rejected = 0, round_tripped = 0;
+  constexpr size_t kMutants = 1000;
+  for (size_t m = 0; m < kMutants; ++m) {
+    SCOPED_TRACE("mutant " + std::to_string(m));
+    std::vector<char> bytes = pristine;
+    if (m % 4 == 0) {
+      // Truncation at a random point (possibly to zero bytes).
+      bytes.resize(rng.UniformInt(bytes.size()));
+    } else {
+      // 1-8 random byte flips anywhere in the image.
+      const uint64_t flips = 1 + rng.UniformInt(8);
+      for (uint64_t f = 0; f < flips; ++f) {
+        const size_t offset = static_cast<size_t>(
+            rng.UniformInt(bytes.size()));
+        bytes[offset] ^= static_cast<char>(1 + rng.UniformInt(255));
+      }
+    }
+    WriteAll(path, bytes);
+    try {
+      const ServiceCheckpoint loaded = ServiceCheckpoint::Load(path);
+      // Accepted: must be a fully parsed, well-formed image. Its canonical
+      // re-encoding must round-trip to itself bit-exactly.
+      const std::vector<char> first = Reserialize(loaded, canon_path);
+      const std::vector<char> second =
+          Reserialize(ServiceCheckpoint::Load(canon_path), canon_path);
+      ASSERT_EQ(first, second);
+      ++round_tripped;
+    } catch (const std::runtime_error&) {
+      ++rejected;  // loud rejection is the expected common case
+    }
+    // Any other exception type (bad_alloc from an over-trusted count,
+    // length_error, ...) escapes and fails the test.
+  }
+  // The corpus must exercise both arms: most mutants hit structure and are
+  // rejected, while flips confined to payload values parse fine.
+  EXPECT_GT(rejected, kMutants / 2);
+  EXPECT_GT(round_tripped, 0u);
+  std::remove(path.c_str());
+  std::remove(canon_path.c_str());
+}
+
+TEST(CheckpointFuzzTest, ImplausibleCountsAreRejectedBeforeAllocating) {
+  // Hand-built worst case the random corpus may miss: the first vector
+  // count (cached_ids) rewritten to 2^32 — small enough to pass a naive
+  // sanity cap, large enough that resizing would allocate gigabytes. The
+  // loader must reject it against the actual file size instead.
+  const std::string path = TempPath("fuzz_count");
+  MakeCheckpoint().Save(path);
+  std::vector<char> bytes = ReadAll(path);
+  const size_t count_offset = 8 + 4 + 8;  // magic, version, fingerprint
+  for (size_t i = 0; i < 8; ++i) bytes[count_offset + i] = 0;
+  bytes[count_offset + 4] = 1;  // little-endian 2^32
+  WriteAll(path, bytes);
+  try {
+    ServiceCheckpoint::Load(path);
+    FAIL() << "implausible count accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("implausible count"),
+              std::string::npos)
+        << e.what();
+  }
   std::remove(path.c_str());
 }
 

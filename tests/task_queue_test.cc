@@ -1,0 +1,85 @@
+#include "src/util/task_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace mto {
+namespace {
+
+TEST(TaskQueueTest, RunsEveryTaskExactlyOnce) {
+  TaskQueue queue(4);
+  std::vector<std::atomic<int>> hits(64);
+  std::vector<std::function<void()>> tasks;
+  for (size_t i = 0; i < hits.size(); ++i) {
+    tasks.push_back([&hits, i] { hits[i].fetch_add(1); });
+  }
+  queue.Dispatch(std::move(tasks));
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(TaskQueueTest, EmptyDispatchReturnsImmediately) {
+  TaskQueue queue(2);
+  queue.Dispatch({});  // must not hang
+}
+
+TEST(TaskQueueTest, ZeroThreadsThrows) {
+  EXPECT_THROW(TaskQueue(0), std::invalid_argument);
+}
+
+TEST(TaskQueueTest, TasksOverlapAcrossWorkers) {
+  // Four sleeping tasks on four workers should take ~one sleep, not four.
+  // The generous bound (2 of 4 sleeps) keeps slow CI from flaking while
+  // still failing if dispatches serialize.
+  TaskQueue queue(4);
+  const auto kSleep = std::chrono::milliseconds(50);
+  std::vector<std::function<void()>> tasks(
+      4, [kSleep] { std::this_thread::sleep_for(kSleep); });
+  const auto start = std::chrono::steady_clock::now();
+  queue.Dispatch(std::move(tasks));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, kSleep);
+  EXPECT_LT(elapsed, 2 * kSleep);
+}
+
+TEST(TaskQueueTest, ConcurrentDispatchesShareTheWorkers) {
+  TaskQueue queue(4);
+  std::atomic<int> total{0};
+  std::vector<std::thread> dispatchers;
+  for (int d = 0; d < 8; ++d) {
+    dispatchers.emplace_back([&queue, &total] {
+      std::vector<std::function<void()>> tasks(
+          16, [&total] { total.fetch_add(1); });
+      queue.Dispatch(std::move(tasks));
+    });
+  }
+  for (auto& dispatcher : dispatchers) dispatcher.join();
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(TaskQueueTest, FirstExceptionIsRethrownAndRestStillRun) {
+  TaskQueue queue(2);
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([] { throw std::runtime_error("task failed"); });
+  for (int i = 0; i < 8; ++i) tasks.push_back([&ran] { ran.fetch_add(1); });
+  EXPECT_THROW(queue.Dispatch(std::move(tasks)), std::runtime_error);
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(TaskQueueTest, ExceptionInOneDispatchDoesNotLeakIntoAnother) {
+  TaskQueue queue(2);
+  std::vector<std::function<void()>> failing;
+  failing.push_back([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(queue.Dispatch(std::move(failing)), std::runtime_error);
+  std::vector<std::function<void()>> fine(4, [] {});
+  EXPECT_NO_THROW(queue.Dispatch(std::move(fine)));
+}
+
+}  // namespace
+}  // namespace mto
