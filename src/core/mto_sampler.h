@@ -118,6 +118,16 @@ class MtoSampler final : public Sampler {
   std::optional<NodeId> ProposeStep() override;
   NodeId CommitStep(NodeId target) override;
 
+  /// Depth-k top candidates for the pipelined prefetcher: the first entry
+  /// is exactly the pick the next propose will announce (same saved RNG,
+  /// same overlay view); subsequent entries are the draws that follow it —
+  /// the candidates a commit-time re-pick (edge removed/replaced, lazy
+  /// re-draw) reaches first. All draws run on a saved/restored RNG against
+  /// the current overlay; nothing is consumed, queried, or mutated
+  /// (unregistered current nodes announce nothing — registering would be a
+  /// counted query).
+  void PeekNextTargets(size_t width, std::vector<NodeId>& out) override;
+
   /// Speculation accounting (reset never; read by benches/tests). A commit
   /// is a *hit* when the step moved to the speculated target on its first
   /// inner iteration — i.e. the prefetch covered every fetch the step

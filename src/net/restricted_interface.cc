@@ -26,6 +26,14 @@ std::optional<DeferredFetch> RestrictedInterface::PlanFetchMisses(
   return std::nullopt;
 }
 
+std::optional<std::vector<uint32_t>> RestrictedInterface::PlanPrefetch(
+    std::span<const NodeId> ids) const {
+  // One perfect backend: no per-node routing to preview, and nothing a
+  // prefetch could overlap. Callers skip prefetching.
+  (void)ids;
+  return std::nullopt;
+}
+
 QueryResult RestrictedInterface::MakeResult(NodeId v) const {
   QueryResult r;
   r.user = v;

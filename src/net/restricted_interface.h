@@ -35,9 +35,21 @@ const char* FetchModeName(FetchMode mode);
 /// is complete once all of them returned.
 struct DeferredFetch {
   std::vector<std::function<void()>> apply_tasks;
+  /// Parallel to `apply_tasks`: the backend each task's ledger belongs to,
+  /// and how many real round trips (non-refusal ops) it applies. The
+  /// pipelined engine uses these to route tasks onto per-backend channels
+  /// and to discount round trips already prepaid by prefetch tickets
+  /// (DESIGN.md §10). A one-backend planner may leave them empty.
+  std::vector<uint32_t> task_backend;
+  std::vector<uint32_t> task_trips;
   /// Parallel to the planned miss span: 1 iff that node was fetched (it is
   /// cached and cost was charged), 0 iff it was refused.
   std::vector<uint8_t> fetched;
+  /// Parallel to the planned miss span: the backend index that served the
+  /// node's *first real request* attempt (prefetch-prediction ground truth),
+  /// or UINT32_MAX when no request was issued for it. May be empty when the
+  /// planner does not model per-node routing.
+  std::vector<uint32_t> first_backend;
 };
 
 /// Response of one individual-user query q(v) (paper Section II-A):
@@ -148,6 +160,17 @@ class RestrictedInterface {
     return v < cached_.size() && cached_[v];
   }
 
+  /// Non-counting cache read: the response for `v` iff it is already
+  /// cached, std::nullopt otherwise (including out-of-range ids). Unlike
+  /// QueryRef this never issues a fetch and never moves *any* counter —
+  /// not even total_requests — so samplers may use it for purely
+  /// predictive peeks (Sampler::PeekNextTargets) without perturbing the
+  /// checkpointable session state.
+  virtual std::optional<QueryView> PeekCached(NodeId v) const {
+    if (!IsCached(v)) return std::nullopt;
+    return MakeView(v);
+  }
+
   /// Public total user count (paper footnote 4).
   NodeId num_users() const { return network_->num_users(); }
 
@@ -201,6 +224,19 @@ class RestrictedInterface {
   virtual std::optional<DeferredFetch> PlanFetchMisses(
       std::span<const NodeId> misses,
       std::chrono::microseconds per_trip_latency);
+
+  /// Pure routing preview for pipelined prefetching (DESIGN.md §10): for
+  /// each id, the backend index its first real fetch attempt would be
+  /// routed to under the current routing counters, or UINT32_MAX when no
+  /// backend would accept it (budget exhaustion). Never mutates any state —
+  /// a preview is not a promise, and prefetch tickets built from it are
+  /// wall-clock-only. Returns std::nullopt when the interface has no
+  /// per-node routing model (the base class: one backend) or the active
+  /// selection policy is not a pure function of the node id (round-robin
+  /// and similar cursor-based policies), in which case callers simply skip
+  /// prefetching.
+  virtual std::optional<std::vector<uint32_t>> PlanPrefetch(
+      std::span<const NodeId> ids) const;
 
   /// Copies out the checkpointable session state (cache + counters).
   virtual SessionSnapshot SnapshotSession() const;

@@ -37,6 +37,276 @@ void ConcurrentInterfaceCache::SetFetchMode(FetchMode mode,
   }
 }
 
+void ConcurrentInterfaceCache::SetPipelineDepth(size_t depth,
+                                                size_t channels) {
+  if (channels_ != nullptr) DrainPipeline();
+  pipeline_depth_ = depth;
+  if (depth == 0) {
+    channels_.reset();
+    return;
+  }
+  const size_t lanes =
+      std::min(kMaxFetchThreads, channels == 0 ? kMaxFetchThreads : channels);
+  if (channels_ == nullptr || channels_->size() != lanes) {
+    channels_ = std::make_unique<SerialChannels>(lanes);
+  }
+}
+
+void ConcurrentInterfaceCache::CancelTicket(PrefetchTicket& ticket) {
+  {
+    std::lock_guard<std::mutex> lock(ticket.mutex);
+    ticket.cancelled = true;
+  }
+  ticket.cv.notify_all();
+}
+
+void ConcurrentInterfaceCache::PostApplyTask(std::function<void()> task,
+                                             uint32_t backend, uint32_t trips,
+                                             uint32_t prepaid,
+                                             std::function<void()> on_done) {
+  const auto rtt = simulated_latency();
+  channels_->Post(backend % channels_->size(),
+                  [task = std::move(task), trips, prepaid, rtt,
+                   on_done = std::move(on_done)] {
+                    task();  // pure ledger math — the plan carried 0 latency
+                    // The wall-clock price of this backend's round trips,
+                    // minus the trips its prefetch tickets already slept on
+                    // this same FIFO lane (total lane busy time is
+                    // conserved: prepaid trips merely started earlier).
+                    if (rtt.count() > 0 && trips > prepaid) {
+                      std::this_thread::sleep_for(rtt * (trips - prepaid));
+                    }
+                    if (on_done) on_done();
+                  });
+}
+
+void ConcurrentInterfaceCache::DrainPipeline() {
+  if (channels_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(base_mutex_);
+    for (auto& entry : tickets_) CancelTicket(*entry.second);
+    tickets_.clear();
+  }
+  round_marks_.clear();
+  channels_->Drain();
+}
+
+void ConcurrentInterfaceCache::PipelinedFetch(
+    std::span<const NodeId> frontier) {
+  for (NodeId v : frontier) {
+    if (v >= num_users()) {
+      throw std::invalid_argument("PipelinedFetch: unknown user id");
+    }
+  }
+  // Mirror BatchQuery's request accounting: one request per frontier slot.
+  total_requests_.fetch_add(frontier.size(), std::memory_order_relaxed);
+  if (frontier.empty()) return;
+  if (!PipelineActive()) {
+    throw std::logic_error("PipelinedFetch: pipeline inactive");
+  }
+
+  std::optional<DeferredFetch> deferred;
+  std::vector<std::shared_ptr<PrefetchTicket>> consumed(frontier.size());
+  {
+    std::lock_guard<std::mutex> lock(base_mutex_);
+    // The plan runs at normal time, on the coordinator, in frontier order —
+    // the exact state mutations (routing counters, cache marks, cost) the
+    // sync path would make. Only the ledger/latency tail is deferred.
+    deferred = base_->PlanFetchMisses(frontier, std::chrono::microseconds(0));
+    if (deferred) {
+      for (size_t i = 0; i < frontier.size(); ++i) {
+        auto it = tickets_.find(frontier[i]);
+        if (it != tickets_.end()) {
+          consumed[i] = std::move(it->second);
+          tickets_.erase(it);
+        }
+      }
+    }
+  }
+  if (!deferred) {
+    // No plannable backend model: sync-identical inline fallback (the
+    // frontier is distinct and was uncached when the coordinator built it).
+    uint64_t trips = 0;
+    std::vector<std::optional<QueryResult>> backend;
+    {
+      std::lock_guard<std::mutex> lock(base_mutex_);
+      const uint64_t before = base_->BackendRequests();
+      backend = base_->BatchQuery(frontier);
+      trips = base_->BackendRequests() - before;
+    }
+    if (simulated_latency().count() > 0) {
+      std::this_thread::sleep_for(simulated_latency() *
+                                  static_cast<int64_t>(trips));
+    }
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      if (backend[i].has_value()) {
+        cached_flags_[frontier[i]].store(1, std::memory_order_release);
+      }
+    }
+    return;
+  }
+
+  // Speculation validation: a consumed ticket prepays one round trip on its
+  // lane iff it predicted the node's actual first-request backend; a
+  // mispredicted (or never-requested) node's ticket is cancelled so the
+  // wrong lane frees early. Both outcomes are wall-clock-only.
+  std::unordered_map<uint32_t, uint32_t> prepaid;
+  for (size_t i = 0; i < frontier.size(); ++i) {
+    if (!consumed[i]) continue;
+    const uint32_t actual = i < deferred->first_backend.size()
+                                ? deferred->first_backend[i]
+                                : UINT32_MAX;
+    if (actual != UINT32_MAX && consumed[i]->backend == actual) {
+      ++prepaid[actual];
+    } else {
+      CancelTicket(*consumed[i]);
+    }
+  }
+  // Publish planned outcomes: the coordinator is the only query-path thread
+  // during this phase (CrawlScheduler's barriers), so the claim machinery
+  // is unnecessary — set the flags directly. Commits may now read these
+  // nodes while their round trips are still in flight on the lanes.
+  for (size_t i = 0; i < frontier.size(); ++i) {
+    if (deferred->fetched[i] != 0) {
+      cached_flags_[frontier[i]].store(1, std::memory_order_release);
+    }
+  }
+  for (size_t t = 0; t < deferred->apply_tasks.size(); ++t) {
+    const uint32_t b = deferred->task_backend[t];
+    const uint32_t trips = deferred->task_trips[t];
+    uint32_t pre = 0;
+    auto it = prepaid.find(b);
+    if (it != prepaid.end()) {
+      pre = std::min(it->second, trips);
+      it->second -= pre;
+    }
+    PostApplyTask(std::move(deferred->apply_tasks[t]), b, trips, pre,
+                  nullptr);
+  }
+  // The lag-k join: at most pipeline_depth_ rounds of posted work may stay
+  // in flight; wait out markers older than that. This bounds run-ahead and
+  // keeps "steps/sec limited by aggregate backend bandwidth" honest — every
+  // trip still occupies its lane for one RTT before the crawl can finish.
+  round_marks_.push_back(channels_->Mark());
+  while (round_marks_.size() > pipeline_depth_) {
+    channels_->WaitUntil(round_marks_.front());
+    round_marks_.pop_front();
+  }
+}
+
+void ConcurrentInterfaceCache::PostPrefetchHints(
+    std::span<const NodeId> predicted) {
+  if (!PipelineActive()) return;
+  struct Route {
+    std::shared_ptr<PrefetchTicket> ticket;
+  };
+  std::vector<Route> routes;
+  {
+    std::lock_guard<std::mutex> lock(base_mutex_);
+    // Deterministic stale-invalidation point: whatever the previous window
+    // predicted and this round did not consume is stale now — cancel it.
+    // The stale set is exactly (predicted \ consumed), a pure function of
+    // the crawl state, never of timing.
+    for (auto& entry : tickets_) CancelTicket(*entry.second);
+    tickets_.clear();
+    std::vector<NodeId> fresh;
+    for (NodeId v : predicted) {
+      if (v >= num_users()) continue;  // hints are best-effort, not errors
+      if (cached_flags_[v].load(std::memory_order_acquire) != 0) continue;
+      if (std::find(fresh.begin(), fresh.end(), v) != fresh.end()) continue;
+      fresh.push_back(v);
+    }
+    if (fresh.empty()) return;
+    const auto plan = base_->PlanPrefetch(fresh);
+    if (!plan) return;  // no pure routing preview: skip prefetching
+    for (size_t i = 0; i < fresh.size(); ++i) {
+      if ((*plan)[i] == UINT32_MAX) continue;  // no backend would accept it
+      auto ticket = std::make_shared<PrefetchTicket>();
+      ticket->backend = (*plan)[i];
+      tickets_.emplace(fresh[i], ticket);
+      routes.push_back({std::move(ticket)});
+    }
+  }
+  // Tickets are wall-clock-only: each live one occupies its predicted
+  // backend's lane for one RTT, and touches no session state — which is
+  // the entire bitwise-equality argument. One lane task per hints call
+  // sleeps the whole batch at once (live-count x RTT): per-ticket timed
+  // waits oversleep by a scheduler quantum each, which at hundreds of
+  // tickets per round dwarfs the RTTs being modelled. Cancellations land
+  // before the batch runs in steady state (the coordinator runs at most
+  // pipeline_depth rounds ahead of the lanes); a cancel arriving mid-sleep
+  // costs modelling accuracy only, never correctness.
+  const auto rtt = simulated_latency();
+  std::vector<std::vector<std::shared_ptr<PrefetchTicket>>> per_lane(
+      channels_->size());
+  for (auto& route : routes) {
+    per_lane[route.ticket->backend % channels_->size()].push_back(
+        std::move(route.ticket));
+  }
+  for (size_t lane = 0; lane < per_lane.size(); ++lane) {
+    if (per_lane[lane].empty()) continue;
+    channels_->Post(lane, [batch = std::move(per_lane[lane]), rtt] {
+                      if (rtt.count() <= 0) return;
+                      int64_t live = 0;
+                      for (const auto& ticket : batch) {
+                        std::lock_guard<std::mutex> lock(ticket->mutex);
+                        if (!ticket->cancelled) ++live;
+                      }
+                      if (live > 0) std::this_thread::sleep_for(rtt * live);
+                    });
+  }
+}
+
+std::optional<bool> ConcurrentInterfaceCache::PipelinedQueryMiss(NodeId v) {
+  std::optional<DeferredFetch> deferred;
+  std::shared_ptr<PrefetchTicket> ticket;
+  {
+    std::lock_guard<std::mutex> lock(base_mutex_);
+    const NodeId miss[1] = {v};
+    deferred = base_->PlanFetchMisses(miss, std::chrono::microseconds(0));
+    if (deferred) {
+      auto it = tickets_.find(v);
+      if (it != tickets_.end()) {
+        ticket = std::move(it->second);
+        tickets_.erase(it);
+      }
+    }
+  }
+  if (!deferred) return std::nullopt;  // caller falls back to the sync path
+  uint32_t prepaid_backend = UINT32_MAX;
+  if (ticket) {
+    const uint32_t actual = deferred->first_backend.empty()
+                                ? UINT32_MAX
+                                : deferred->first_backend[0];
+    if (actual != UINT32_MAX && ticket->backend == actual) {
+      prepaid_backend = actual;
+    } else {
+      CancelTicket(*ticket);
+    }
+  }
+  // A demand miss is urgent: it rides its own connection instead of
+  // queueing behind the lanes' speculative backlog (which would turn a
+  // one-RTT stall into a multi-round one). The ledger apply still runs on
+  // the backend's lane — FIFO order with the in-flight frontier work is
+  // preserved — but with its lane sleep suppressed; the walker pays the
+  // wire time inline instead, exactly as the sync path would, minus one
+  // trip when a matching prefetch ticket is already sleeping it out.
+  uint64_t wire_trips = 0;
+  for (size_t t = 0; t < deferred->apply_tasks.size(); ++t) {
+    const uint32_t b = deferred->task_backend[t];
+    const uint32_t trips = deferred->task_trips[t];
+    const uint32_t pre = (b == prepaid_backend && trips > 0) ? 1u : 0u;
+    wire_trips += trips - pre;
+    PostApplyTask(std::move(deferred->apply_tasks[t]), b, trips,
+                  /*prepaid=*/trips, nullptr);
+  }
+  const auto rtt = simulated_latency();
+  if (rtt.count() > 0 && wire_trips > 0) {
+    std::this_thread::sleep_for(rtt * static_cast<int64_t>(wire_trips));
+  }
+  return deferred->fetched[0] != 0;
+}
+
 bool ConcurrentInterfaceCache::IsCached(NodeId v) const {
   return v < num_users() &&
          cached_flags_[v].load(std::memory_order_acquire) != 0;
@@ -85,6 +355,7 @@ SessionSnapshot ConcurrentInterfaceCache::SnapshotSession() const {
 
 void ConcurrentInterfaceCache::RestoreSession(
     const SessionSnapshot& snapshot) {
+  DrainPipeline();  // ledgers must be quiescent before rewriting state
   {
     std::lock_guard<std::mutex> lock(base_mutex_);
     base_->RestoreSession(snapshot);
@@ -98,6 +369,7 @@ void ConcurrentInterfaceCache::RestoreSession(
 }
 
 void ConcurrentInterfaceCache::Reset() {
+  DrainPipeline();
   base_->Reset();
   const NodeId n = num_users();
   for (NodeId v = 0; v < n; ++v) {
@@ -137,6 +409,16 @@ std::optional<QueryResult> ConcurrentInterfaceCache::Query(NodeId v) {
     return MakeResult(v);
   }
   if (!ClaimFetch(v)) return MakeResult(v);  // cached while we waited
+  if (PipelineActive()) {
+    // Commit-phase misses while the pipeline is live: ledger applies keep
+    // lane FIFO order, but the wire time is paid inline on this thread —
+    // a demand fetch never waits out the speculative backlog.
+    if (auto fetched = PipelinedQueryMiss(v)) {
+      ResolveFetch(v, *fetched);
+      if (!*fetched) return std::nullopt;
+      return MakeResult(v);
+    }
+  }
   if (AsyncActive()) {
     std::optional<DeferredFetch> deferred;
     {

@@ -3,14 +3,18 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "src/net/restricted_interface.h"
+#include "src/util/serial_channels.h"
 #include "src/util/task_queue.h"
 
 namespace mto {
@@ -43,6 +47,22 @@ namespace mto {
 ///    and blocks on the join. Round trips served by different backends
 ///    overlap in real time; results stay bit-identical to kSync because
 ///    sync and async share the plan (see DESIGN.md §9).
+///  * **Pipelined rounds (`SetPipelineDepth(k)`, k >= 1).** The async path
+///    still joins every frontier before the round continues, so round R+1
+///    waits on round R's slowest backend. The pipelined engine drops that
+///    join: `PipelinedFetch` plans the frontier exactly like sync/async
+///    (same coordinator thread, same order, identical state mutations) but
+///    posts the per-backend ledger/latency tasks onto per-backend FIFO
+///    channels (util/SerialChannels) and returns immediately — commits read
+///    the planned outcomes from the cache while the round trips are still
+///    "in flight" as wall time on the channels. A lag-k join bounds
+///    run-ahead: before round R's tasks are posted, round R-k must have
+///    drained. `PostPrefetchHints` turns sampler peeks into wall-clock-only
+///    prefetch *tickets* — a ticket occupies its predicted backend's
+///    channel for one RTT and lets the real fetch's apply task discount one
+///    prepaid trip; a wrong or stale prediction is cancelled. Tickets never
+///    touch ledger, cache, or cost state, so samples/trace/estimate/ledgers
+///    stay bitwise equal to sync mode by construction (DESIGN.md §10).
 ///
 /// The wrapper takes over latency simulation from the wrapped session (the
 /// session's own latency is zeroed at construction) so a round trip is
@@ -72,6 +92,44 @@ class ConcurrentInterfaceCache final : public RestrictedInterface {
   /// Upper bound on async fetch workers (backend channels worth of
   /// overlap; more would only contend on the ledger shards).
   static constexpr size_t kMaxFetchThreads = 16;
+
+  /// Enables (depth >= 1) or disables (depth == 0) the pipelined engine:
+  /// `depth` rounds of deferred per-backend work may be in flight behind
+  /// the crawl (the lag-k join), and samplers are asked for up to `depth`
+  /// prefetch candidates per walker. `channels` sizes the per-backend FIFO
+  /// lane set (0 falls back to kMaxFetchThreads; pass the backend count).
+  /// Drains any active pipeline first. Call between rounds only.
+  void SetPipelineDepth(size_t depth, size_t channels = 0);
+  size_t pipeline_depth() const { return pipeline_depth_; }
+
+  /// True iff PipelinedFetch/PostPrefetchHints are live.
+  bool PipelineActive() const {
+    return pipeline_depth_ > 0 && channels_ != nullptr;
+  }
+
+  /// Pipelined replacement for the coordinator's frontier BatchQuery
+  /// (CrawlScheduler only): plans the whole frontier under the ledger mutex
+  /// — consuming matching prefetch tickets — marks planned-fetched nodes
+  /// cached, posts each backend's ledger/latency task to its channel, and
+  /// returns without joining. Requires PipelineActive(); must be called
+  /// from a single coordinator thread with no concurrent query-path calls
+  /// (CrawlScheduler's phase barriers guarantee this). Falls back to
+  /// sync-identical inline behavior when the wrapped session cannot plan.
+  void PipelinedFetch(std::span<const NodeId> frontier);
+
+  /// Publishes the next round's predicted targets as prefetch tickets:
+  /// routes each valid, uncached, deduplicated prediction via the wrapped
+  /// session's PlanPrefetch and posts a one-RTT wall-clock ticket on the
+  /// predicted backend's channel. First cancels every ticket left from the
+  /// previous prediction window (the deterministic stale-invalidation
+  /// point). Tickets mutate no session state whatsoever. Coordinator-only,
+  /// like PipelinedFetch; a no-op when the session cannot preview routes.
+  void PostPrefetchHints(std::span<const NodeId> predicted);
+
+  /// Cancels all outstanding tickets and drains every channel; after this
+  /// the ledgers are quiescent (checkpoint/stat-read safe). Coordinator
+  /// only. No-op when the pipeline is inactive.
+  void DrainPipeline();
 
   std::optional<QueryResult> Query(NodeId v) override;
   /// Allocation-free read path: cache hits return a borrowed view without
@@ -125,6 +183,34 @@ class ConcurrentInterfaceCache final : public RestrictedInterface {
     return fetch_mode_ == FetchMode::kAsync && fetch_queue_ != nullptr;
   }
 
+  /// A wall-clock-only prefetch reservation: its channel task sleeps one
+  /// RTT (or until cancelled) on the predicted backend's lane. Carries no
+  /// ledger, cache, or cost effect — that is the whole determinism
+  /// argument. Guarded by its own mutex; the tickets_ map by base_mutex_.
+  struct PrefetchTicket {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool cancelled = false;
+    uint32_t backend = 0;  ///< predicted first-request backend
+  };
+
+  static void CancelTicket(PrefetchTicket& ticket);
+
+  /// Posts one backend's deferred apply task to its channel: ledger math
+  /// first (the plan carried zero latency), then the wall-clock price of
+  /// its round trips minus `prepaid` ticket trips. `on_done` (optional)
+  /// fires after the sleep — the single-miss path joins on it.
+  void PostApplyTask(std::function<void()> task, uint32_t backend,
+                     uint32_t trips, uint32_t prepaid,
+                     std::function<void()> on_done);
+
+  /// Single-miss fetch through the channels (commit-phase walker misses
+  /// while the pipeline is live): plans under the ledger mutex, consumes a
+  /// matching ticket, posts per-backend tasks, joins on its own fetch.
+  /// Returns whether `v` was fetched, or std::nullopt when the wrapped
+  /// session cannot plan (caller falls back to the sync path).
+  std::optional<bool> PipelinedQueryMiss(NodeId v);
+
   RestrictedInterface* base_;
   std::unique_ptr<std::atomic<uint8_t>[]> cached_flags_;
   std::atomic<uint64_t> total_requests_{0};
@@ -132,6 +218,14 @@ class ConcurrentInterfaceCache final : public RestrictedInterface {
   Shard shards_[kShards];
   FetchMode fetch_mode_ = FetchMode::kSync;
   std::unique_ptr<TaskQueue> fetch_queue_;
+
+  // Pipelined engine state. channels_/pipeline_depth_ change only between
+  // rounds (SetPipelineDepth); tickets_ and round_marks_ are touched under
+  // base_mutex_ / by the coordinator respectively.
+  size_t pipeline_depth_ = 0;
+  std::unique_ptr<SerialChannels> channels_;
+  std::unordered_map<NodeId, std::shared_ptr<PrefetchTicket>> tickets_;
+  std::deque<SerialChannels::Marker> round_marks_;
 };
 
 }  // namespace mto

@@ -20,8 +20,10 @@ CrawlScheduler::CrawlScheduler(RestrictedInterface& interface,
   // The scheduler owns the execution shape (threads, stepping mode, fetch
   // mode); when the session is the concurrent cache, configure its fetch
   // path here so every construction site inherits the CrawlConfig choice.
-  if (auto* cache = dynamic_cast<ConcurrentInterfaceCache*>(&interface)) {
-    cache->SetFetchMode(config.fetch_mode, config.fetch_threads);
+  cache_ = dynamic_cast<ConcurrentInterfaceCache*>(&interface);
+  if (cache_ != nullptr) {
+    cache_->SetFetchMode(config.fetch_mode, config.fetch_threads);
+    cache_->SetPipelineDepth(config.pipeline_depth, config.fetch_threads);
   }
   // Fork per-walker streams in index order: walker i's stream is a function
   // of (seed, i) only, never of num_walkers' layout or num_threads.
@@ -38,17 +40,26 @@ CrawlScheduler::CrawlScheduler(RestrictedInterface& interface,
   }
   pool_ = std::make_unique<ThreadPool>(config.num_threads);
   proposals_.resize(walkers_.size());
+  peeks_.resize(walkers_.size());
 }
 
 CrawlScheduler::~CrawlScheduler() = default;
 
 void CrawlScheduler::RunRounds(size_t rounds,
                                std::vector<double>* diagnostics) {
+  const bool pipelined = cache_ != nullptr && cache_->PipelineActive();
   if (config_.coalesce_frontier) {
-    for (size_t r = 0; r < rounds; ++r) RunCoalescedRound(diagnostics);
+    if (pipelined) {
+      for (size_t r = 0; r < rounds; ++r) RunPipelinedRound(diagnostics);
+    } else {
+      for (size_t r = 0; r < rounds; ++r) RunCoalescedRound(diagnostics);
+    }
   } else {
     RunFreeRounds(rounds, diagnostics);
   }
+  // RunRounds boundaries are unit boundaries for the service layer
+  // (checkpoints, ledger/stat reads): leave the pipeline quiescent.
+  if (pipelined) cache_->DrainPipeline();
   total_steps_ += rounds * walkers_.size();
 }
 
@@ -139,6 +150,83 @@ void CrawlScheduler::RunCoalescedRound(std::vector<double>* diagnostics) {
       }
     }
   });
+}
+
+void CrawlScheduler::RunPipelinedRound(std::vector<double>* diagnostics) {
+  const size_t W = walkers_.size();
+  // Phases 1 and 2 are identical to the lock-step round — same coordinator
+  // thread, same frontier order, identical state mutations — except that
+  // PipelinedFetch returns as soon as the frontier's outcomes are *planned*
+  // (cache marked, costs charged): the per-backend latency stays in flight
+  // on the lanes while phase 3 commits against the planned outcomes.
+  pool_->Run([&](size_t t) {
+    auto [begin, end] = ThreadPool::BlockRange(W, pool_->size(), t);
+    for (size_t i = begin; i < end; ++i) {
+      Sampler& w = *walkers_[i];
+      proposals_[i] = w.step_protocol() == StepProtocol::kSingleStep
+                          ? std::nullopt
+                          : w.ProposeStep();
+    }
+  });
+  frontier_.clear();
+  {
+    std::unordered_set<NodeId> seen;
+    for (size_t i = 0; i < W; ++i) {
+      if (!proposals_[i]) continue;
+      const NodeId v = *proposals_[i];
+      if (!interface_->IsCached(v) && seen.insert(v).second) {
+        frontier_.push_back(v);
+      }
+    }
+  }
+  if (!frontier_.empty()) cache_->PipelinedFetch(frontier_);
+  size_t diag_base = 0;
+  if (diagnostics != nullptr) {
+    diag_base = diagnostics->size();
+    diagnostics->resize(diag_base + W);
+  }
+  pool_->Run([&](size_t t) {
+    auto [begin, end] = ThreadPool::BlockRange(W, pool_->size(), t);
+    for (size_t i = begin; i < end; ++i) {
+      Sampler& w = *walkers_[i];
+      switch (w.step_protocol()) {
+        case StepProtocol::kSingleStep:
+          w.Step();
+          break;
+        case StepProtocol::kTwoPhase:
+          if (proposals_[i]) w.CommitStep(*proposals_[i]);
+          break;
+        case StepProtocol::kSpeculative:
+          if (proposals_[i]) {
+            w.CommitStep(*proposals_[i]);
+          } else {
+            w.Step();
+          }
+          break;
+      }
+      if (diagnostics != nullptr) {
+        (*diagnostics)[diag_base + i] = w.CurrentDegreeForDiagnostic();
+      }
+    }
+  });
+  // Phase 4 (parallel peek, then coordinator publish): ask each walker for
+  // its predicted next targets — pure reads on saved RNG state, so this
+  // perturbs nothing — and turn them into prefetch tickets. The hints call
+  // runs even when empty: it is the deterministic invalidation point for
+  // the previous round's stale tickets.
+  const size_t width = config_.pipeline_depth;
+  pool_->Run([&](size_t t) {
+    auto [begin, end] = ThreadPool::BlockRange(W, pool_->size(), t);
+    for (size_t i = begin; i < end; ++i) {
+      peeks_[i].clear();
+      walkers_[i]->PeekNextTargets(width, peeks_[i]);
+    }
+  });
+  predicted_.clear();
+  for (size_t i = 0; i < W; ++i) {
+    for (NodeId v : peeks_[i]) predicted_.push_back(v);
+  }
+  cache_->PostPrefetchHints(predicted_);
 }
 
 std::vector<CrawlScheduler::WalkerState> CrawlScheduler::SnapshotWalkers()

@@ -37,6 +37,16 @@ struct CrawlConfig {
   FetchMode fetch_mode = FetchMode::kSync;
   /// Async fetch workers; 0 = auto (see ConcurrentInterfaceCache).
   size_t fetch_threads = 0;
+  /// Pipelined rounds (coalesced stepping over a ConcurrentInterfaceCache
+  /// only; ignored otherwise): with depth k >= 1, up to k rounds of
+  /// deferred per-backend latency work stay in flight behind the crawl on
+  /// per-backend FIFO lanes, and each round ends with a speculative peek
+  /// phase that prefetches up to k predicted targets per walker as
+  /// wall-clock-only tickets. 0 (default) keeps the lock-step round shape.
+  /// Like fetch_mode and num_threads this is pure execution shape: samples,
+  /// trace, estimates, costs, and per-backend ledgers are bit-identical to
+  /// sync mode (DESIGN.md §10).
+  size_t pipeline_depth = 0;
 };
 
 /// Shards W walkers across a fixed thread pool, deterministically.
@@ -120,8 +130,13 @@ class CrawlScheduler {
  private:
   void RunFreeRounds(size_t rounds, std::vector<double>* diagnostics);
   void RunCoalescedRound(std::vector<double>* diagnostics);
+  /// RunCoalescedRound with the lock-step frontier join replaced by
+  /// PipelinedFetch and a trailing peek/prefetch phase (DESIGN.md §10).
+  void RunPipelinedRound(std::vector<double>* diagnostics);
 
   RestrictedInterface* interface_;
+  /// Non-null iff `interface_` is the concurrent cache (then they alias).
+  class ConcurrentInterfaceCache* cache_ = nullptr;
   CrawlConfig config_;
   std::vector<std::unique_ptr<Rng>> rngs_;  // outlive the walkers
   std::vector<std::unique_ptr<Sampler>> walkers_;
@@ -131,6 +146,8 @@ class CrawlScheduler {
   // Scratch for coalesced rounds (stable across rounds to avoid churn).
   std::vector<std::optional<NodeId>> proposals_;
   std::vector<NodeId> frontier_;
+  std::vector<std::vector<NodeId>> peeks_;  // per-walker prefetch hints
+  std::vector<NodeId> predicted_;
 };
 
 }  // namespace mto

@@ -33,9 +33,34 @@ const char* BackendSelectionName(BackendSelection selection) {
     case BackendSelection::kRoundRobin: return "round_robin";
     case BackendSelection::kLeastLoaded: return "least_loaded";
     case BackendSelection::kBudgetAware: return "budget_aware";
+    case BackendSelection::kRendezvous: return "rendezvous";
   }
   return "?";
 }
+
+namespace {
+
+/// SplitMix64 finalizer: a cheap, well-mixed 64-bit permutation. Fixed
+/// constants — rendezvous assignments are part of run reproducibility.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over the backend name: the stable identity rendezvous scores key
+/// on, so a backend's scores survive reordering and fleet changes.
+uint64_t HashName(const std::string& name) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x00000100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
 
 BackendPool::BackendPool(const SocialNetwork& network,
                          std::vector<BackendConfig> backends,
@@ -62,6 +87,10 @@ BackendPool::BackendPool(const SocialNetwork& network,
   }
   ledger_mutexes_ = std::make_unique<std::mutex[]>(configs_.size());
   plan_scratch_.resize(configs_.size());
+  name_hashes_.reserve(configs_.size());
+  for (const BackendConfig& config : configs_) {
+    name_hashes_.push_back(HashName(config.name));
+  }
   SyncRoutingCounters();
 }
 
@@ -138,13 +167,52 @@ void BackendPool::Reset() {
   SyncRoutingCounters();
 }
 
+uint64_t BackendPool::RendezvousScore(size_t b, NodeId v) const {
+  return Mix64(name_hashes_[b] ^ Mix64(v));
+}
+
+void BackendPool::RouteOrder(NodeId v, std::vector<size_t>& order) const {
+  const size_t n = configs_.size();
+  order.clear();
+  if (selection_ == BackendSelection::kSharded) {
+    const size_t primary = v % n;
+    for (size_t i = 0; i < n; ++i) order.push_back((primary + i) % n);
+    return;
+  }
+  // kRendezvous: descending score order. Score ties (only possible with
+  // duplicate backend names) break toward fewer planned requests — the
+  // plan-time load tie-break — then lower index, so the order is a
+  // deterministic function of (node, routing counters). Budget-spent
+  // backends then sort behind every live one: a spent key is excluded from
+  // primary duty instead of answering with a refusal, but stays reachable
+  // as a last resort so an all-spent pool still reports refusals.
+  for (size_t b = 0; b < n; ++b) order.push_back(b);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const uint64_t score_a = RendezvousScore(a, v);
+    const uint64_t score_b = RendezvousScore(b, v);
+    if (score_a != score_b) return score_a > score_b;
+    if (routed_requests_[a] != routed_requests_[b]) {
+      return routed_requests_[a] < routed_requests_[b];
+    }
+    return a < b;
+  });
+  std::stable_partition(order.begin(), order.end(), [&](size_t b) {
+    return !configs_[b].budget || routed_unique_[b] < *configs_[b].budget;
+  });
+}
+
 void BackendPool::SelectionOrder(NodeId v, std::vector<size_t>& order) {
   const size_t n = configs_.size();
+  if (selection_ == BackendSelection::kSharded ||
+      selection_ == BackendSelection::kRendezvous) {
+    RouteOrder(v, order);
+    return;
+  }
   size_t primary = 0;
   switch (selection_) {
     case BackendSelection::kSharded:
-      primary = v % n;
-      break;
+    case BackendSelection::kRendezvous:
+      break;  // handled above
     case BackendSelection::kRoundRobin:
       primary = static_cast<size_t>(round_robin_cursor_++ % n);
       break;
@@ -232,8 +300,10 @@ BackendPool::AttemptDraw BackendPool::DrawAttempt(size_t b, NodeId v,
 }
 
 bool BackendPool::PlanOne(NodeId v,
-                          std::vector<std::vector<LedgerOp>>& per_backend) {
+                          std::vector<std::vector<LedgerOp>>& per_backend,
+                          uint32_t* first_request_backend) {
   SelectionOrder(v, order_scratch_);
+  if (first_request_backend != nullptr) *first_request_backend = UINT32_MAX;
   uint64_t attempt = 0;
   for (size_t b : order_scratch_) {
     const BackendConfig& config = configs_[b];
@@ -242,6 +312,10 @@ bool BackendPool::PlanOne(NodeId v,
         per_backend[b].push_back(
             {v, static_cast<uint32_t>(attempt), 1, AttemptDraw{}});
         break;  // this key is spent; fail over
+      }
+      if (first_request_backend != nullptr &&
+          *first_request_backend == UINT32_MAX) {
+        *first_request_backend = static_cast<uint32_t>(b);
       }
       ++routed_requests_[b];
       const AttemptDraw draw = DrawAttempt(b, v, attempt);
@@ -326,17 +400,51 @@ std::optional<DeferredFetch> BackendPool::PlanFetchMisses(
     std::chrono::microseconds per_trip_latency) {
   DeferredFetch out;
   out.fetched.assign(misses.size(), 0);
+  out.first_backend.assign(misses.size(), UINT32_MAX);
   std::vector<std::vector<LedgerOp>> per_backend(configs_.size());
   for (size_t i = 0; i < misses.size(); ++i) {
     if (BudgetExhausted()) break;
-    out.fetched[i] = PlanOne(misses[i], per_backend) ? 1 : 0;
+    out.fetched[i] =
+        PlanOne(misses[i], per_backend, &out.first_backend[i]) ? 1 : 0;
   }
   for (size_t b = 0; b < per_backend.size(); ++b) {
     if (per_backend[b].empty()) continue;
+    uint32_t trips = 0;
+    for (const LedgerOp& op : per_backend[b]) {
+      if (op.refusal == 0) ++trips;
+    }
+    out.task_backend.push_back(static_cast<uint32_t>(b));
+    out.task_trips.push_back(trips);
     out.apply_tasks.push_back(
         [this, b, ops = std::move(per_backend[b]), per_trip_latency] {
           ApplyOps(b, ops, per_trip_latency);
         });
+  }
+  return out;
+}
+
+std::optional<std::vector<uint32_t>> BackendPool::PlanPrefetch(
+    std::span<const NodeId> ids) const {
+  if (selection_ != BackendSelection::kSharded &&
+      selection_ != BackendSelection::kRendezvous) {
+    // Cursor/load-based policies: the next pick depends on routing state
+    // that moves between now and the real plan — no honest preview exists.
+    return std::nullopt;
+  }
+  std::vector<uint32_t> out;
+  out.reserve(ids.size());
+  std::vector<size_t> order;
+  for (NodeId v : ids) {
+    RouteOrder(v, order);
+    uint32_t pick = UINT32_MAX;
+    for (size_t b : order) {
+      if (configs_[b].budget && routed_unique_[b] >= *configs_[b].budget) {
+        continue;  // would answer with a refusal, not a request
+      }
+      pick = static_cast<uint32_t>(b);
+      break;
+    }
+    out.push_back(pick);
   }
   return out;
 }

@@ -71,10 +71,11 @@ struct BackendLedger {
 /// How the pool picks the backend that serves a cache miss. Failover walks
 /// the remaining backends from the selected one in index order.
 enum class BackendSelection {
-  /// Backend `v % N` serves node v. The only strategy whose per-backend
-  /// assignment is a pure function of the node id — and hence the one under
-  /// which per-backend costs are bit-identical across thread interleavings
-  /// (the ledger-sharding mode; see the class comment).
+  /// Backend `v % N` serves node v. Assignment is a pure function of the
+  /// node id (like kRendezvous) — per-backend costs are bit-identical
+  /// across thread interleavings (the ledger-sharding mode; see the class
+  /// comment) — but `v % N` aliases badly on strided or skewed node-id
+  /// populations.
   kSharded,
   /// Rotating cursor over the backends (classic API-key rotation).
   kRoundRobin,
@@ -83,6 +84,17 @@ enum class BackendSelection {
   /// The backend with the most remaining budget (unlimited counts as
   /// infinite; ties break toward fewer unique queries, then lower index).
   kBudgetAware,
+  /// Rendezvous (highest-random-weight) hashing on (backend name, node):
+  /// node v is served by the backend with the highest hash score for v, and
+  /// fails over down the score order. Like kSharded the assignment is a
+  /// pure function of the node id — interleaving-independent ledgers — but
+  /// the hash mixes node ids uniformly (no aliasing on strided/skewed id
+  /// populations) and fleet changes only move the nodes whose top scorer
+  /// changed (minimal disruption). Equal scores (duplicate backend names)
+  /// break toward fewer planned requests, then lower index; backends whose
+  /// budget is spent sort behind all live ones instead of emitting a
+  /// refusal op (see SelectionOrder).
+  kRendezvous,
 };
 
 const char* BackendSelectionName(BackendSelection selection);
@@ -103,7 +115,8 @@ const char* BackendSelectionName(BackendSelection selection);
 /// Determinism: fault, latency, and jitter draws are pure functions of
 /// (fault_seed, backend, node, attempt) — never of arrival order — so
 /// whether a given node's fetch ultimately succeeds, and on which backend
-/// under kSharded selection, is independent of thread interleaving. Walker
+/// under the pure per-node policies (kSharded, kRendezvous), is
+/// independent of thread interleaving. Walker
 /// trajectories therefore stay bit-identical across thread counts and
 /// stepping modes even with faults injected, as long as no budget (pool- or
 /// backend-level) is exhausted mid-crawl — exhaustion order is the one
@@ -177,6 +190,15 @@ class BackendPool final : public RestrictedInterface {
       std::span<const NodeId> misses,
       std::chrono::microseconds per_trip_latency) override;
 
+  /// Routing preview for the pipelined prefetcher: answers for the pure
+  /// per-node policies (kSharded, kRendezvous) with each id's first
+  /// budget-capable backend in its route order (UINT32_MAX when every
+  /// backend's budget is spent); returns std::nullopt for cursor/load-based
+  /// policies whose next pick depends on mutable routing state. Reads the
+  /// plan-time routing counters only; mutates nothing.
+  std::optional<std::vector<uint32_t>> PlanPrefetch(
+      std::span<const NodeId> ids) const override;
+
  protected:
   /// The sync multi-backend fetch path: each miss runs the select →
   /// budget → fault-draw plan, and its ledger work (pace, latency,
@@ -206,14 +228,30 @@ class BackendPool final : public RestrictedInterface {
     AttemptDraw draw;      ///< unused when refusal
   };
 
-  /// Order in which backends are tried for node v (primary first, then
-  /// failover in index order). Reads the routing counters, not ledgers.
+  /// Order in which backends are tried for node v. For kSharded that is
+  /// `v % N` then index-order failover; for kRendezvous the descending
+  /// score order with budget-spent backends partitioned to the back; the
+  /// cursor/load policies pick a primary from mutable state and fail over
+  /// in index order. Reads the routing counters, not ledgers.
   void SelectionOrder(NodeId v, std::vector<size_t>& order);
+
+  /// The const subset of SelectionOrder for the pure per-node policies
+  /// (kSharded, kRendezvous) — what PlanPrefetch previews. Must stay in
+  /// lockstep with SelectionOrder for those policies.
+  void RouteOrder(NodeId v, std::vector<size_t>& order) const;
+
+  /// Rendezvous score of backend b for node v: a pure hash of the
+  /// backend's (stable) name hash and the node id.
+  uint64_t RendezvousScore(size_t b, NodeId v) const;
 
   /// Routing front for one node: runs the retry/failover loop against the
   /// routing counters, appends the resulting ledger ops per backend, and
-  /// on success marks the node fetched. Returns true iff fetched.
-  bool PlanOne(NodeId v, std::vector<std::vector<LedgerOp>>& per_backend);
+  /// on success marks the node fetched. Returns true iff fetched. When
+  /// `first_request_backend` is non-null it receives the backend of the
+  /// node's first real (non-refusal) request, or UINT32_MAX if none was
+  /// issued — the prefetch-prediction ground truth.
+  bool PlanOne(NodeId v, std::vector<std::vector<LedgerOp>>& per_backend,
+               uint32_t* first_request_backend = nullptr);
 
   /// Applies one backend's planned ops to its ledger, under that ledger's
   /// mutex, then sleeps `per_trip_latency` once per applied request (the
@@ -244,6 +282,9 @@ class BackendPool final : public RestrictedInterface {
   /// never wait on — or race with — deferred ledger applies.
   std::vector<uint64_t> routed_requests_;
   std::vector<uint64_t> routed_unique_;
+  /// Stable per-backend name hashes for rendezvous scoring (computed once;
+  /// a backend keeps its scores when siblings come and go).
+  std::vector<uint64_t> name_hashes_;
   std::vector<size_t> order_scratch_;
   std::vector<std::vector<LedgerOp>> plan_scratch_;
 };

@@ -38,6 +38,7 @@ CrawlService::CrawlService(const ScenarioConfig& config)
   // admit.
   crawl.fetch_threads = config_.fetch_threads != 0 ? config_.fetch_threads
                                                    : pool_->num_backends();
+  crawl.pipeline_depth = config_.pipeline_depth;
   scheduler_ = std::make_unique<CrawlScheduler>(
       *session_, crawl, config_.seed,
       [this](RestrictedInterface& iface, Rng& rng, size_t) {

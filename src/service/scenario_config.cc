@@ -67,6 +67,7 @@ FetchMode ParseFetchMode(const std::string& s) {
 
 BackendSelection ParseSelection(const std::string& s) {
   if (s == "sharded") return BackendSelection::kSharded;
+  if (s == "rendezvous") return BackendSelection::kRendezvous;
   if (s == "round_robin") return BackendSelection::kRoundRobin;
   if (s == "least_loaded") return BackendSelection::kLeastLoaded;
   if (s == "budget_aware") return BackendSelection::kBudgetAware;
@@ -122,9 +123,10 @@ ScenarioConfig ScenarioConfig::FromJson(const JsonValue& root) {
   CheckKeys(root, "the document",
             {"dataset", "seed", "sampler", "attribute", "jump_probability",
              "walkers", "threads", "coalesce_frontier", "fetch_mode",
-             "fetch_threads", "queue_capacity", "geweke",
+             "fetch_threads", "pipeline_depth", "queue_capacity", "geweke",
              "max_burn_in_rounds", "num_samples", "thinning", "total_budget",
-             "backends", "strategy", "retry", "fault_seed", "checkpoint"});
+             "backends", "strategy", "routing", "retry", "fault_seed",
+             "checkpoint"});
   ScenarioConfig config;
   if (root.Has("dataset")) config.dataset = root.At("dataset").AsString();
   if (root.Has("seed")) config.seed = root.At("seed").AsUint();
@@ -147,6 +149,9 @@ ScenarioConfig ScenarioConfig::FromJson(const JsonValue& root) {
   }
   if (root.Has("fetch_threads")) {
     config.fetch_threads = root.At("fetch_threads").AsUint();
+  }
+  if (root.Has("pipeline_depth")) {
+    config.pipeline_depth = root.At("pipeline_depth").AsUint();
   }
   if (root.Has("queue_capacity")) {
     config.queue_capacity = root.At("queue_capacity").AsUint();
@@ -180,8 +185,18 @@ ScenarioConfig ScenarioConfig::FromJson(const JsonValue& root) {
       config.backends.push_back(ParseBackend(array[i], i));
     }
   }
+  // "routing" is the preferred alias of the historical "strategy" key;
+  // naming both is a config contradiction waiting to happen, so reject it.
+  if (root.Has("strategy") && root.Has("routing")) {
+    throw std::invalid_argument(
+        "ScenarioConfig: \"strategy\" and \"routing\" are aliases; "
+        "specify only one");
+  }
   if (root.Has("strategy")) {
     config.strategy = ParseSelection(root.At("strategy").AsString());
+  }
+  if (root.Has("routing")) {
+    config.strategy = ParseSelection(root.At("routing").AsString());
   }
   if (root.Has("retry")) {
     const JsonValue& retry = root.At("retry");
@@ -266,7 +281,6 @@ uint64_t ScenarioConfig::Fingerprint() const {
   fnv.Mix(static_cast<uint64_t>(num_samples));
   fnv.Mix(static_cast<uint64_t>(thinning));
   fnv.Mix(total_budget);
-  fnv.Mix(static_cast<uint64_t>(strategy));
   fnv.Mix(static_cast<uint64_t>(retry.max_attempts_per_backend));
   fnv.Mix(retry.base_backoff_us);
   fnv.Mix(retry.backoff_multiplier);
@@ -286,10 +300,15 @@ uint64_t ScenarioConfig::Fingerprint() const {
     fnv.Mix(backend.quota_rate);
     fnv.Mix(backend.timeout_us);
   }
-  // num_threads, coalesce_frontier, fetch_mode, fetch_threads, and
-  // queue_capacity are deliberately excluded: results are bit-identical
-  // across them (the runtime contract), so a checkpoint from a 1-thread
-  // sync run may resume on 8 threads with async fetches, and vice versa.
+  // num_threads, coalesce_frontier, fetch_mode, fetch_threads,
+  // pipeline_depth, and queue_capacity are deliberately excluded: results
+  // are bit-identical across them (the runtime contract), so a checkpoint
+  // from a 1-thread sync run may resume on 8 threads with pipelined async
+  // fetches, and vice versa. The routing strategy is excluded too — not
+  // because results match across policies (they don't), but because
+  // resuming under a different policy is a legitimate live rotation: the
+  // ledgers, cache, and walker states are policy-independent facts, and
+  // the trajectory simply becomes hybrid from the resume point on.
   return fnv.hash();
 }
 

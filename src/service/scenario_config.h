@@ -35,12 +35,12 @@ struct CheckpointConfig {
 ///   "sampler": "srw",
 ///   "attribute": "degree",
 ///   "walkers": 16, "threads": 4, "coalesce_frontier": false,
-///   "fetch_mode": "async", "fetch_threads": 0,
+///   "fetch_mode": "async", "fetch_threads": 0, "pipeline_depth": 0,
 ///   "geweke": {"threshold": 0.1, "min_length": 200, "check_every": 50},
 ///   "max_burn_in_rounds": 2000,
 ///   "num_samples": 200, "thinning": 25,
 ///   "total_budget": 0,
-///   "strategy": "sharded",
+///   "routing": "sharded",
 ///   "fault_seed": 1337,
 ///   "retry": {"max_attempts_per_backend": 3, "base_backoff_us": 1000,
 ///             "multiplier": 2.0, "max_backoff_us": 100000, "jitter": 0.5},
@@ -71,6 +71,13 @@ struct ScenarioConfig {
   FetchMode fetch_mode = FetchMode::kSync;
   /// Async fetch workers; 0 = one per backend (capped by the runtime).
   size_t fetch_threads = 0;
+  /// Pipelined rounds (coalesced stepping only): with depth k >= 1, up to
+  /// k rounds of deferred backend latency stay in flight behind the crawl
+  /// and each round prefetches up to k predicted targets per walker as
+  /// wall-clock-only tickets. Pure execution shape like fetch_mode —
+  /// results are bit-identical to 0 (pipeline_equivalence_test pins this)
+  /// and the knob is excluded from the checkpoint fingerprint.
+  size_t pipeline_depth = 0;
   size_t queue_capacity = 4096;
 
   double geweke_threshold = 0.1;
@@ -83,6 +90,10 @@ struct ScenarioConfig {
   /// Pool-wide unique-query cap on top of per-backend budgets; 0 = none.
   uint64_t total_budget = 0;
   std::vector<BackendConfig> backends;  ///< empty = one perfect backend
+  /// Backend routing policy. JSON accepts either "strategy" (historical)
+  /// or "routing" (preferred alias) — naming both is an error. Excluded
+  /// from the checkpoint fingerprint: resuming under a different policy is
+  /// a live rotation, the trajectory simply becomes hybrid.
   BackendSelection strategy = BackendSelection::kSharded;
   RetryPolicy retry;
   uint64_t fault_seed = 0x5EED;

@@ -1,0 +1,118 @@
+#include "src/util/serial_channels.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mto {
+
+SerialChannels::SerialChannels(size_t num_channels) {
+  if (num_channels == 0) {
+    throw std::invalid_argument("SerialChannels: need at least one channel");
+  }
+  channels_.reserve(num_channels);
+  for (size_t c = 0; c < num_channels; ++c) {
+    channels_.push_back(std::make_unique<Channel>());
+  }
+  // Workers start only after every Channel exists: WorkerLoop never touches
+  // siblings, but keeping construction fully materialized first is cheap.
+  for (auto& channel : channels_) {
+    channel->worker = std::thread([this, ch = channel.get()] {
+      WorkerLoop(*ch);
+    });
+  }
+}
+
+SerialChannels::~SerialChannels() {
+  for (auto& channel : channels_) {
+    {
+      std::lock_guard<std::mutex> lock(channel->mutex);
+      channel->shutting_down = true;
+    }
+    channel->work_cv.notify_all();
+  }
+  for (auto& channel : channels_) {
+    if (channel->worker.joinable()) channel->worker.join();
+  }
+}
+
+void SerialChannels::Post(size_t channel, std::function<void()> task) {
+  if (channel >= channels_.size()) {
+    throw std::out_of_range("SerialChannels::Post: bad channel index");
+  }
+  Channel& ch = *channels_[channel];
+  {
+    std::lock_guard<std::mutex> lock(ch.mutex);
+    ch.queue.push_back(std::move(task));
+    ++ch.posted;
+  }
+  ch.work_cv.notify_one();
+}
+
+SerialChannels::Marker SerialChannels::Mark() const {
+  Marker marker;
+  marker.posted.reserve(channels_.size());
+  for (const auto& channel : channels_) {
+    std::lock_guard<std::mutex> lock(channel->mutex);
+    marker.posted.push_back(channel->posted);
+  }
+  return marker;
+}
+
+void SerialChannels::WaitUntil(const Marker& marker) {
+  for (size_t c = 0; c < channels_.size() && c < marker.posted.size(); ++c) {
+    Channel& ch = *channels_[c];
+    std::unique_lock<std::mutex> lock(ch.mutex);
+    ch.done_cv.wait(lock, [&] { return ch.completed >= marker.posted[c]; });
+  }
+  RethrowFirstError();
+}
+
+void SerialChannels::Drain() {
+  for (auto& channel : channels_) {
+    std::unique_lock<std::mutex> lock(channel->mutex);
+    channel->done_cv.wait(lock, [&] {
+      return channel->completed >= channel->posted;
+    });
+  }
+  RethrowFirstError();
+}
+
+void SerialChannels::WorkerLoop(Channel& channel) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(channel.mutex);
+      channel.work_cv.wait(lock, [&] {
+        return !channel.queue.empty() || channel.shutting_down;
+      });
+      if (channel.queue.empty()) {
+        // Shutdown drains the queue first: only exit once empty.
+        return;
+      }
+      task = std::move(channel.queue.front());
+      channel.queue.pop_front();
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(channel.mutex);
+      ++channel.completed;
+    }
+    channel.done_cv.notify_all();
+  }
+}
+
+void SerialChannels::RethrowFirstError() {
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace mto

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "src/graph/generators.h"
 #include "src/service/crawl_service.h"
 
 namespace mto {
@@ -179,6 +180,50 @@ TEST(FetchEquivalenceExtrasTest, PacingLedgersMatchSingleThreaded) {
   ExpectLedgersBitIdentical(sync.ledgers, async.ledgers);
   // The pacing path actually fired, or this test pins nothing.
   EXPECT_GT(sync.ledgers.ledgers[1].stats.pacing_waits, 0u);
+}
+
+TEST(FetchEquivalenceExtrasTest, PacingIsArrivalOrderDependent) {
+  // The pinned counterexample behind the 1-thread-only pacing assertion
+  // above (DESIGN.md §9): token-bucket state is a function of per-backend
+  // arrival *order*, which multi-threaded stepping does not fix in any
+  // fetch mode — two walker threads racing their first-touch misses reach
+  // the pool in whichever order the OS schedules, sync and async alike.
+  // Twin pools serve the same two fetches in opposite orders: every count
+  // matches (requests, uniques, pacing waits — the draws are pure per
+  // (backend, node, attempt)), but the wait *lengths*, and with them the
+  // backend clock and simulated time, differ. No 4-thread equivalence
+  // assertion over pacing fields can therefore hold; it would compare two
+  // runs of an order-dependent quantity with unpinned orders.
+  SocialNetwork net(Grid(8, 8));
+  auto make_pool = [&net] {
+    BackendConfig backend;
+    backend.latency_mean_us = 300;
+    backend.latency_sigma = 0.5;     // distinct per-node latency draws
+    backend.rate_per_sec = 1000.0;   // 1 token/ms: the second fetch waits
+    backend.burst = 1.0;
+    return BackendPool(net, {backend}, RetryPolicy{},
+                       BackendSelection::kSharded, 0xFA17);
+  };
+  BackendPool ab = make_pool();
+  ASSERT_TRUE(ab.Query(0).has_value());
+  ASSERT_TRUE(ab.Query(1).has_value());
+  BackendPool ba = make_pool();
+  ASSERT_TRUE(ba.Query(1).has_value());
+  ASSERT_TRUE(ba.Query(0).has_value());
+  const BackendStats s_ab = ab.backend_stats(0);
+  const BackendStats s_ba = ba.backend_stats(0);
+  // Order-independent counts agree...
+  EXPECT_EQ(s_ab.requests, s_ba.requests);
+  EXPECT_EQ(s_ab.unique_queries, s_ba.unique_queries);
+  EXPECT_EQ(s_ab.failed_requests, s_ba.failed_requests);
+  EXPECT_EQ(s_ab.pacing_waits, s_ba.pacing_waits);
+  EXPECT_EQ(s_ab.pacing_waits, 1u);  // the bucket actually throttled
+  // ...but the pacing-bearing fields depend on which node arrived first:
+  // the wait absorbed by the second fetch is a function of the first's
+  // latency draw, and node 0 and node 1 draw different latencies.
+  EXPECT_NE(s_ab.simulated_us, s_ba.simulated_us);
+  EXPECT_NE(ab.SnapshotBackends().ledgers[0].clock_us,
+            ba.SnapshotBackends().ledgers[0].clock_us);
 }
 
 TEST(FetchEquivalenceExtrasTest, AsyncResumesSyncCheckpointBitIdentically) {

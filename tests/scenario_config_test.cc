@@ -123,6 +123,40 @@ TEST(ScenarioConfigTest, FingerprintTracksBehavioralFieldsOnly) {
   b.coalesce_frontier = false;
   b.queue_capacity = 16;
   EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  // Same for the whole execution-shape family: fetch mode, fetch worker
+  // count, and pipeline depth (pipeline_equivalence_test pins the bitwise
+  // equivalence these exclusions rely on)...
+  b = a;
+  b.fetch_mode = FetchMode::kAsync;
+  b.fetch_threads = 7;
+  b.pipeline_depth = 2;
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  // ...and for the routing strategy, excluded on live-rotation grounds: a
+  // checkpoint resumed under a different policy continues as a hybrid
+  // trajectory instead of failing the fingerprint check.
+  b = a;
+  b.strategy = BackendSelection::kRendezvous;
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(ScenarioConfigTest, RoutingIsAnAliasOfStrategy) {
+  EXPECT_EQ(ScenarioConfig::FromJsonText(R"({"routing": "rendezvous"})")
+                .strategy,
+            BackendSelection::kRendezvous);
+  EXPECT_EQ(ScenarioConfig::FromJsonText(R"({"strategy": "rendezvous"})")
+                .strategy,
+            BackendSelection::kRendezvous);
+  // Naming both is a contradiction, even when the values agree.
+  EXPECT_THROW(ScenarioConfig::FromJsonText(
+                   R"({"strategy": "sharded", "routing": "sharded"})"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioConfigTest, ParsesPipelineDepth) {
+  EXPECT_EQ(ScenarioConfig::FromJsonText("{}").pipeline_depth, 0u);
+  EXPECT_EQ(
+      ScenarioConfig::FromJsonText(R"({"pipeline_depth": 3})").pipeline_depth,
+      3u);
 }
 
 TEST(ScenarioConfigTest, FromFileRoundTrips) {
