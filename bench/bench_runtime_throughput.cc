@@ -26,6 +26,8 @@
 #include "src/core/mto_sampler.h"
 #include "src/graph/datasets.h"
 #include "src/net/restricted_interface.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/runtime/concurrent_interface_cache.h"
 #include "src/runtime/crawl_scheduler.h"
 #include "src/service/backend_pool.h"
@@ -38,6 +40,12 @@ namespace {
 using namespace mto;
 
 constexpr uint64_t kSeed = 0xC0FFEE;
+
+/// Observability attached to a scheduler run: off, counters only, or
+/// counters + span tracing. The ablation section sweeps all three; the
+/// MTO rows use kMetrics so speculation accounting comes from the registry
+/// instead of hand-threaded walker casts.
+enum class ObsMode { kOff, kMetrics, kTrace };
 
 struct Row {
   std::string section;
@@ -142,7 +150,8 @@ Row RunScheduler(const SocialNetwork& net, size_t walkers, size_t threads,
                  size_t rounds, std::chrono::microseconds latency,
                  size_t batch,
                  const CrawlScheduler::WalkerFactory& factory = MakeWalker,
-                 const char* mode_override = nullptr) {
+                 const char* mode_override = nullptr,
+                 ObsMode obs = ObsMode::kOff) {
   RestrictedInterface base(net);
   base.SetSimulatedLatency(latency);
   base.SetMaxBatchSize(batch == 0 ? 1 : batch);
@@ -152,6 +161,13 @@ Row RunScheduler(const SocialNetwork& net, size_t walkers, size_t threads,
   config.num_threads = threads;
   config.coalesce_frontier = batch > 0;
   CrawlScheduler scheduler(session, config, kSeed, factory);
+  std::unique_ptr<obs::MetricsRegistry> registry;
+  std::unique_ptr<obs::TraceLog> trace;
+  if (obs != ObsMode::kOff) registry = std::make_unique<obs::MetricsRegistry>();
+  if (obs == ObsMode::kTrace) trace = std::make_unique<obs::TraceLog>();
+  if (registry != nullptr) {
+    scheduler.SetObservability(registry.get(), trace.get());
+  }
   const auto start = std::chrono::steady_clock::now();
   scheduler.RunRounds(rounds);
   const auto end = std::chrono::steady_clock::now();
@@ -170,18 +186,16 @@ Row RunScheduler(const SocialNetwork& net, size_t walkers, size_t threads,
       static_cast<double>(walkers * rounds) / (row.wall_ms / 1000.0);
   row.unique_queries = session.QueryCost();
   row.backend_requests = session.BackendRequests();
-  // MTO speculation accounting: how often the coalesced prefetch covered
-  // the whole step (commit moved to the speculated target first try).
-  uint64_t commits = 0, hits = 0;
-  for (size_t i = 0; i < scheduler.size(); ++i) {
-    if (auto* walker = dynamic_cast<MtoSampler*>(&scheduler.walker(i))) {
-      commits += walker->speculative_commits();
-      hits += walker->speculation_hits();
+  // MTO speculation accounting straight from the registry (the scheduler
+  // refreshes the gauges from the walkers' counters after RunRounds).
+  if (registry != nullptr) {
+    const int64_t commits =
+        registry->GaugeValue("scheduler.speculative_commits");
+    const int64_t hits = registry->GaugeValue("scheduler.speculation_hits");
+    if (commits > 0) {
+      row.spec_hit_rate =
+          static_cast<double>(hits) / static_cast<double>(commits);
     }
-  }
-  if (commits > 0) {
-    row.spec_hit_rate =
-        static_cast<double>(hits) / static_cast<double>(commits);
   }
   row.positions = scheduler.Positions();
   return row;
@@ -347,7 +361,7 @@ int main(int argc, char** argv) {
   for (size_t threads : {1u, 4u, 8u}) {
     for (size_t batch : {0u, 64u}) {
       Row row = RunScheduler(net, walkers, threads, mto_rounds, kRtt, batch,
-                             MakeMtoWalker);
+                             MakeMtoWalker, nullptr, ObsMode::kMetrics);
       row.section = "mto-latency-bound";
       mto_rows.push_back(row);
     }
@@ -398,11 +412,31 @@ int main(int argc, char** argv) {
   PrintSection("Pipelined rounds (200us per backend round trip, depth 2)",
                pl_rows, pl_rows.front());
 
+  // --- Metrics ablation: the same CPU-bound free-run (the hottest
+  // instrumented path — every step goes through the cache's hit counter)
+  // with observability off, counters on, and counters + tracing. The
+  // passivity contract says the positions and costs are bit-identical; the
+  // wall-clock delta is the whole observability overhead, which
+  // ci/compare_perf.py warns about when it exceeds 3%.
+  std::vector<Row> obs_rows;
+  for (ObsMode obs : {ObsMode::kOff, ObsMode::kMetrics, ObsMode::kTrace}) {
+    const char* mode = obs == ObsMode::kOff      ? "obs-off"
+                       : obs == ObsMode::kMetrics ? "obs-metrics"
+                                                  : "obs-trace";
+    Row row =
+        RunScheduler(net, walkers, 8, rounds, kNoLatency, 0, MakeWalker,
+                     mode, obs);
+    row.section = "metrics-ablation";
+    obs_rows.push_back(row);
+  }
+  PrintSection("Metrics ablation (CPU-bound free-run, 8 threads)", obs_rows,
+               obs_rows.front());
+
   // Invariant check across every configuration of a section: walkers only
   // go faster, they never walk elsewhere or pay a different query cost.
   bool ok = true;
   for (const auto* rows : {&cpu_rows, &lat_rows, &mto_rows, &mb_rows,
-                           &pl_rows}) {
+                           &pl_rows, &obs_rows}) {
     for (const Row& r : *rows) {
       const Row& base = rows->front();
       if (r.positions != base.positions ||
@@ -422,6 +456,7 @@ int main(int argc, char** argv) {
   all.insert(all.end(), mto_rows.begin(), mto_rows.end());
   all.insert(all.end(), mb_rows.begin(), mb_rows.end());
   all.insert(all.end(), pl_rows.begin(), pl_rows.end());
+  all.insert(all.end(), obs_rows.begin(), obs_rows.end());
   if (!json_path.empty()) WriteJson(json_path, all);
   return ok ? 0 : 1;
 }

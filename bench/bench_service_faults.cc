@@ -25,6 +25,7 @@
 
 #include "bench/bench_flags.h"
 #include "src/graph/datasets.h"
+#include "src/obs/metrics.h"
 #include "src/runtime/concurrent_interface_cache.h"
 #include "src/runtime/crawl_scheduler.h"
 #include "src/service/backend_pool.h"
@@ -91,17 +92,30 @@ Row RunCrawl(const SocialNetwork& net, const std::string& section,
   row.backends = num_backends;
   row.fault_rate = fault_rate;
   row.retry_attempts = retry_attempts;
+  // Per-backend accounting through the metrics registry: the pool pulls
+  // its ledgers into labeled gauges and the bench reads them back by name,
+  // the same surface a monitoring scrape would use.
+  obs::MetricsRegistry registry;
+  pool.PublishMetrics(registry);
+  const auto gauge = [&](const char* name, const std::string& backend) {
+    return static_cast<uint64_t>(registry.GaugeValue(
+        obs::MetricsRegistry::LabeledName(name, "backend", backend)));
+  };
   row.unique_queries = session.QueryCost();
-  row.requests = pool.BackendRequests();
-  row.failed_fetches = pool.FailedFetches();
+  row.requests =
+      static_cast<uint64_t>(registry.GaugeValue("pool.backend_requests"));
+  row.failed_fetches =
+      static_cast<uint64_t>(registry.GaugeValue("pool.failed_fetches"));
   row.min_unique = UINT64_MAX;
   for (size_t b = 0; b < pool.num_backends(); ++b) {
-    const BackendStats& stats = pool.backend_stats(b);
-    row.failed_requests += stats.failed_requests;
-    row.min_unique = std::min(row.min_unique, stats.unique_queries);
-    row.max_unique = std::max(row.max_unique, stats.unique_queries);
+    const std::string& name = pool.backend_config(b).name;
+    row.failed_requests += gauge("backend.failed_requests", name);
+    const uint64_t unique = gauge("backend.unique_queries", name);
+    row.min_unique = std::min(row.min_unique, unique);
+    row.max_unique = std::max(row.max_unique, unique);
   }
-  row.simulated_ms = static_cast<double>(pool.SimulatedTimeUs()) / 1000.0;
+  row.simulated_ms =
+      static_cast<double>(registry.GaugeValue("pool.simulated_us")) / 1000.0;
   row.wall_ms =
       std::chrono::duration<double, std::milli>(end - start).count();
   return row;

@@ -27,6 +27,7 @@ import sys
 
 DEFAULT_MIN_STEPS_RATIO = 0.70  # new/old steps_per_sec below this = slower
 DEFAULT_MAX_TIME_RATIO = 1.40   # new/old real_time above this = slower
+DEFAULT_MAX_OBS_OVERHEAD = 0.03  # metrics-on throughput loss vs obs-off
 
 
 def throughput_key(row):
@@ -72,6 +73,40 @@ def compare_micro(old_doc, new_doc, max_ratio):
     return regressions, compared
 
 
+def check_metrics_overhead(rows, max_overhead):
+    """Returns (warnings, compared) for the metrics-ablation section.
+
+    Intra-artifact check (this commit only, no baseline needed): for each
+    (walkers, threads, batch) config, the obs-metrics and obs-trace rows
+    must stay within `max_overhead` of the obs-off row's steps_per_sec.
+    The observability layer's contract is "near-zero overhead"; this keeps
+    the claim measured on every commit.
+    """
+    ablation = [r for r in rows if r.get("section") == "metrics-ablation"]
+    base_by_cfg = {}
+    for row in ablation:
+        if row.get("mode") == "obs-off" and row.get("steps_per_sec"):
+            cfg = (row.get("walkers"), row.get("threads"), row.get("batch"))
+            base_by_cfg[cfg] = row
+    warnings, compared = [], 0
+    for row in ablation:
+        if row.get("mode") == "obs-off" or not row.get("steps_per_sec"):
+            continue
+        cfg = (row.get("walkers"), row.get("threads"), row.get("batch"))
+        base = base_by_cfg.get(cfg)
+        if base is None:
+            continue
+        compared += 1
+        ratio = row["steps_per_sec"] / base["steps_per_sec"]
+        if ratio < 1.0 - max_overhead:
+            warnings.append(
+                "observability overhead %s %s: %.0f -> %.0f steps/sec "
+                "(x%.3f < x%.3f)"
+                % (row.get("mode"), cfg, base["steps_per_sec"],
+                   row["steps_per_sec"], ratio, 1.0 - max_overhead))
+    return warnings, compared
+
+
 def load_json(directory, name):
     path = os.path.join(directory, name)
     if not os.path.isfile(path):
@@ -98,11 +133,23 @@ def run_gate(args):
         regressions += r
         compared += c
 
-    print("perf gate: compared %d series, %d regression(s)"
-          % (compared, len(regressions)))
+    # Observability overhead is checked within the new artifact alone and
+    # stays warn-only in every mode: shared-runner noise on a 3% threshold
+    # would make a hard gate flaky, and the regression gate above already
+    # catches order-of-magnitude mistakes.
+    obs_warnings = []
+    if new_tp is not None:
+        obs_warnings, obs_compared = check_metrics_overhead(
+            new_tp, args.max_obs_overhead)
+        compared += obs_compared
+
+    print("perf gate: compared %d series, %d regression(s), %d overhead "
+          "warning(s)" % (compared, len(regressions), len(obs_warnings)))
     marker = "::error::" if args.mode == "fail" else "::warning::"
     for regression in regressions:
         print(marker + "perf regression: " + regression)
+    for warning in obs_warnings:
+        print("::warning::" + warning)
     if regressions and args.mode == "fail":
         return 1
     return 0
@@ -142,6 +189,24 @@ def self_test():
     r, c = compare_micro(old_micro, unit_change, 1.4)
     assert c == 0 and not r, (r, c)
 
+    ablation = [
+        {"section": "metrics-ablation", "mode": "obs-off", "walkers": 64,
+         "threads": 8, "batch": 1, "steps_per_sec": 1000000.0},
+        {"section": "metrics-ablation", "mode": "obs-metrics", "walkers": 64,
+         "threads": 8, "batch": 1, "steps_per_sec": 985000.0},
+        {"section": "metrics-ablation", "mode": "obs-trace", "walkers": 64,
+         "threads": 8, "batch": 1, "steps_per_sec": 940000.0},
+        # A non-ablation row must never enter the overhead comparison.
+        {"section": "cpu-bound", "mode": "obs-metrics", "walkers": 64,
+         "threads": 8, "batch": 1, "steps_per_sec": 1.0},
+    ]
+    w, c = check_metrics_overhead(ablation, 0.03)
+    assert c == 2 and len(w) == 1 and "obs-trace" in w[0], (w, c)
+    w, c = check_metrics_overhead(ablation, 0.10)
+    assert c == 2 and not w, (w, c)
+    w, c = check_metrics_overhead(ablation[1:], 0.03)  # no obs-off baseline
+    assert c == 0 and not w, (w, c)
+
     print("perf gate self-test: OK")
     return 0
 
@@ -155,6 +220,8 @@ def main():
                         default=DEFAULT_MIN_STEPS_RATIO)
     parser.add_argument("--max-time-ratio", type=float,
                         default=DEFAULT_MAX_TIME_RATIO)
+    parser.add_argument("--max-obs-overhead", type=float,
+                        default=DEFAULT_MAX_OBS_OVERHEAD)
     parser.add_argument("--self-test", action="store_true")
     args = parser.parse_args()
     if args.self_test:

@@ -1,0 +1,179 @@
+#include "src/obs/metrics.h"
+
+namespace mto {
+namespace obs {
+
+size_t ObsThreadId() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+uint64_t Histogram::BucketUpperBound(size_t i) {
+  if (i == 0) return 0;
+  if (i >= 64) return UINT64_MAX;
+  return (uint64_t{1} << i) - 1;
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot snap;
+  std::array<uint64_t, kBuckets> merged{};
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i < kBuckets; ++i) {
+      merged[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (merged[i] == 0) continue;
+    snap.count += merged[i];
+    snap.buckets.emplace_back(BucketUpperBound(i), merged[i]);
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::LabeledName(std::string_view name,
+                                         std::string_view label_key,
+                                         std::string_view label_value) {
+  std::string full;
+  full.reserve(name.size() + label_key.size() + label_value.size() + 3);
+  full.append(name);
+  full.push_back('{');
+  full.append(label_key);
+  full.push_back('=');
+  full.append(label_value);
+  full.push_back('}');
+  return full;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view label_key,
+                                     std::string_view label_value) {
+  return GetCounter(LabeledName(name, label_key, label_value));
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name,
+                                 std::string_view label_key,
+                                 std::string_view label_value) {
+  return GetGauge(LabeledName(name, label_key, label_value));
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view label_key,
+                                         std::string_view label_value) {
+  return GetHistogram(LabeledName(name, label_key, label_value));
+}
+
+uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->Value();
+}
+
+int64_t MetricsRegistry::GaugeValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second->Value();
+}
+
+StatsSnapshot MetricsRegistry::Snapshot(uint64_t unit) const {
+  StatsSnapshot snap;
+  snap.unit = unit;
+  std::lock_guard<std::mutex> lock(mutex_);
+  snap.metrics.reserve(counters_.size() + gauges_.size() +
+                       histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    MetricSnapshot m;
+    m.name = name;
+    m.kind = MetricSnapshot::Kind::kCounter;
+    m.counter = counter->Value();
+    snap.metrics.push_back(std::move(m));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricSnapshot m;
+    m.name = name;
+    m.kind = MetricSnapshot::Kind::kGauge;
+    m.gauge = gauge->Value();
+    snap.metrics.push_back(std::move(m));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricSnapshot m;
+    m.name = name;
+    m.kind = MetricSnapshot::Kind::kHistogram;
+    m.histogram = histogram->Snap();
+    snap.metrics.push_back(std::move(m));
+  }
+  return snap;
+}
+
+JsonValue StatsSnapshot::ToJson() const {
+  JsonValue root = JsonValue::Object();
+  auto& obj = root.MutableObject();
+  obj.emplace("unit", JsonValue(static_cast<double>(unit)));
+  JsonValue counters = JsonValue::Object();
+  JsonValue gauges = JsonValue::Object();
+  JsonValue histograms = JsonValue::Object();
+  for (const MetricSnapshot& m : metrics) {
+    switch (m.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        counters.MutableObject().emplace(
+            m.name, JsonValue(static_cast<double>(m.counter)));
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        gauges.MutableObject().emplace(
+            m.name, JsonValue(static_cast<double>(m.gauge)));
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        JsonValue h = JsonValue::Object();
+        h.MutableObject().emplace(
+            "count", JsonValue(static_cast<double>(m.histogram.count)));
+        h.MutableObject().emplace(
+            "sum", JsonValue(static_cast<double>(m.histogram.sum)));
+        JsonValue buckets = JsonValue::Object();
+        for (const auto& [bound, count] : m.histogram.buckets) {
+          buckets.MutableObject().emplace(
+              std::to_string(bound), JsonValue(static_cast<double>(count)));
+        }
+        h.MutableObject().emplace("buckets", std::move(buckets));
+        histograms.MutableObject().emplace(m.name, std::move(h));
+        break;
+      }
+    }
+  }
+  obj.emplace("counters", std::move(counters));
+  obj.emplace("gauges", std::move(gauges));
+  obj.emplace("histograms", std::move(histograms));
+  return root;
+}
+
+}  // namespace obs
+}  // namespace mto

@@ -1,0 +1,194 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/util/json.h"
+
+namespace mto {
+namespace obs {
+
+/// Small dense per-thread id for shard selection: the first time a thread
+/// asks, it draws the next id from a process-global counter. Ids are never
+/// reused, which is fine — they only ever get masked down to a shard index.
+size_t ObsThreadId();
+
+/// Monotonically increasing event counter, sharded across cache lines so
+/// concurrent increments from different threads never contend. `Add` is a
+/// single relaxed fetch_add on the caller's shard; `Value` sums the shards
+/// (racy reads see a value that some serialization of the increments
+/// produced — exact once writers quiesce).
+///
+/// Observability instruments hot paths through *pointers* to these objects:
+/// a null pointer means "metrics off", so the disabled cost is one branch.
+/// See `ObsAdd` below.
+class Counter {
+ public:
+  static constexpr size_t kShards = 16;
+
+  void Add(uint64_t delta = 1) {
+    shards_[ObsThreadId() & (kShards - 1)].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Point-in-time signed value (queue depths, lane occupancy, published
+/// ledger totals). Single atomic: gauges move orders of magnitude less
+/// often than counters, so sharding would buy nothing.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-log2-bucket histogram for latencies and sizes: value v lands in
+/// bucket bit_width(v), i.e. bucket upper bounds are 0, 1, 3, 7, 15, ...
+/// (2^k - 1). 65 buckets cover all of uint64 with zero configuration and a
+/// branch-free index — the classic power-of-two latency histogram. Sharded
+/// like Counter; Snapshot() merges the per-thread shards.
+class Histogram {
+ public:
+  static constexpr size_t kShards = 8;
+  static constexpr size_t kBuckets = 65;
+
+  void Record(uint64_t v) {
+    Shard& shard = shards_[ObsThreadId() & (kShards - 1)];
+    shard.buckets[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    shard.sum.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  /// Bucket index of a value: 0 for 0, otherwise 1 + floor(log2 v).
+  static size_t BucketIndex(uint64_t v) {
+    size_t bits = 0;
+    while (v != 0) {
+      v >>= 1;
+      ++bits;
+    }
+    return bits;
+  }
+
+  /// Inclusive upper bound of bucket i (UINT64_MAX for the last).
+  static uint64_t BucketUpperBound(size_t i);
+
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    /// (inclusive upper bound, count), only buckets with count > 0.
+    std::vector<std::pair<uint64_t, uint64_t>> buckets;
+  };
+  Snapshot Snap() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, kBuckets> buckets{};
+    std::atomic<uint64_t> sum{0};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+/// One metric as captured by MetricsRegistry::Snapshot().
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;  ///< full name incl. label, e.g. "backend.requests{backend=key-0}"
+  Kind kind = Kind::kCounter;
+  uint64_t counter = 0;
+  int64_t gauge = 0;
+  Histogram::Snapshot histogram;
+};
+
+/// All metrics at one instant, tagged with the Advance-unit the service
+/// had completed when it was taken (0 for ad-hoc snapshots).
+struct StatsSnapshot {
+  uint64_t unit = 0;
+  std::vector<MetricSnapshot> metrics;
+
+  /// {"unit": N, "counters": {...}, "gauges": {...}, "histograms":
+  ///  {name: {"count", "sum", "buckets": {"<=bound>": count}}}}.
+  JsonValue ToJson() const;
+};
+
+/// Thread-safe named-metric registry. Get-or-create returns a pointer that
+/// stays valid for the registry's lifetime (node-based map + unique_ptr),
+/// so instrumented components resolve their metrics once and then touch
+/// only the atomic shards — registration cost never reaches a hot path.
+///
+/// Labels are a single key=value pair baked into the full name as
+/// "name{key=value}" (enough for per-backend / per-lane breakdowns without
+/// a label-matrix machine).
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(std::string_view name);
+  Counter* GetCounter(std::string_view name, std::string_view label_key,
+                      std::string_view label_value);
+  Gauge* GetGauge(std::string_view name);
+  Gauge* GetGauge(std::string_view name, std::string_view label_key,
+                  std::string_view label_value);
+  Histogram* GetHistogram(std::string_view name);
+  Histogram* GetHistogram(std::string_view name, std::string_view label_key,
+                          std::string_view label_value);
+
+  /// Counter value by full name, 0 when absent (bench/test convenience).
+  uint64_t CounterValue(std::string_view name) const;
+  /// Gauge value by full name, 0 when absent.
+  int64_t GaugeValue(std::string_view name) const;
+
+  StatsSnapshot Snapshot(uint64_t unit = 0) const;
+
+  /// Composes "name{key=value}".
+  static std::string LabeledName(std::string_view name,
+                                 std::string_view label_key,
+                                 std::string_view label_value);
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Null-safe increment helpers: instrumented components hold raw metric
+/// pointers that are null when observability is off, so the disabled-path
+/// cost is a predictable branch.
+inline void ObsAdd(Counter* c, uint64_t delta = 1) {
+  if (c != nullptr) c->Add(delta);
+}
+inline void ObsAdd(Gauge* g, int64_t delta) {
+  if (g != nullptr) g->Add(delta);
+}
+inline void ObsSet(Gauge* g, int64_t v) {
+  if (g != nullptr) g->Set(v);
+}
+inline void ObsRecord(Histogram* h, uint64_t v) {
+  if (h != nullptr) h->Record(v);
+}
+
+}  // namespace obs
+}  // namespace mto

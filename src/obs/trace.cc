@@ -1,0 +1,173 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "src/obs/metrics.h"
+
+namespace mto {
+namespace obs {
+namespace {
+
+std::atomic<uint64_t> next_log_id{1};
+
+}  // namespace
+
+TraceLog::TraceLog(size_t ring_capacity)
+    : id_(next_log_id.fetch_add(1, std::memory_order_relaxed)),
+      ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+TraceLog::~TraceLog() {
+  std::lock_guard<std::mutex> lock(buffers_mutex_);
+  for (auto& buffer : buffers_) {
+    buffer->retired.store(true, std::memory_order_release);
+  }
+}
+
+uint64_t TraceLog::NowUs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+namespace {
+// Thread-local registration cache: (log id, buffer) pairs for every log
+// this thread has recorded into. Retired entries (log destroyed) are swept
+// on the next miss, so the cache stays bounded by the number of *live*
+// logs a thread touches.
+using CacheEntry = std::pair<uint64_t, std::shared_ptr<void>>;
+thread_local std::vector<CacheEntry> tls_trace_cache;
+}  // namespace
+
+TraceLog::Buffer& TraceLog::LocalBuffer() {
+  for (const CacheEntry& entry : tls_trace_cache) {
+    if (entry.first == id_) {
+      return *static_cast<Buffer*>(entry.second.get());
+    }
+  }
+  // Miss: sweep retired entries, then register this thread with the log.
+  std::erase_if(tls_trace_cache, [](const CacheEntry& entry) {
+    return static_cast<Buffer*>(entry.second.get())
+        ->retired.load(std::memory_order_acquire);
+  });
+  auto buffer = std::make_shared<Buffer>();
+  buffer->ring.resize(ring_capacity_);
+  buffer->tid = static_cast<uint32_t>(ObsThreadId());
+  {
+    std::lock_guard<std::mutex> lock(buffers_mutex_);
+    buffers_.push_back(buffer);
+  }
+  tls_trace_cache.emplace_back(id_, buffer);
+  return *buffer;
+}
+
+void TraceLog::Push(const Event& event) {
+  Buffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  if (buffer.size < buffer.ring.size()) {
+    buffer.ring[buffer.size++] = event;
+    return;
+  }
+  buffer.ring[buffer.head] = event;
+  buffer.head = (buffer.head + 1) % buffer.ring.size();
+  ++buffer.dropped;
+}
+
+void TraceLog::RecordSpan(const char* name, uint64_t start_us,
+                          uint64_t dur_us, uint64_t arg, bool has_arg) {
+  Event event;
+  event.name = name;
+  event.ts_us = start_us;
+  event.dur_us = dur_us;
+  event.arg = arg;
+  event.tid = 0;  // filled from the buffer at emit time
+  event.kind = 0;
+  event.has_arg = has_arg;
+  Push(event);
+}
+
+void TraceLog::RecordInstant(const char* name, uint64_t arg, bool has_arg) {
+  Event event;
+  event.name = name;
+  event.ts_us = NowUs();
+  event.dur_us = 0;
+  event.arg = arg;
+  event.tid = 0;
+  event.kind = 1;
+  event.has_arg = has_arg;
+  Push(event);
+}
+
+uint64_t TraceLog::DroppedEvents() const {
+  uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(buffers_mutex_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+JsonValue TraceLog::ToJson() const {
+  std::vector<Event> events;
+  {
+    std::lock_guard<std::mutex> lock(buffers_mutex_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      // Ring order: once full, [head, end) then [0, head) is oldest-first,
+      // but emit order does not matter — we sort globally below.
+      for (size_t i = 0; i < buffer->size; ++i) {
+        Event event = buffer->ring[i];
+        event.tid = buffer->tid;
+        events.push_back(event);
+      }
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                     // Equal start: longer span first so nesting renders.
+                     return a.dur_us > b.dur_us;
+                   });
+
+  JsonValue root = JsonValue::Object();
+  JsonValue array = JsonValue::Array();
+  auto& out = array.MutableArray();
+  out.reserve(events.size());
+  for (const Event& event : events) {
+    JsonValue e = JsonValue::Object();
+    auto& obj = e.MutableObject();
+    obj.emplace("name", JsonValue(std::string(event.name)));
+    obj.emplace("cat", JsonValue(std::string("mto")));
+    obj.emplace("ph",
+                JsonValue(std::string(event.kind == 0 ? "X" : "i")));
+    obj.emplace("ts", JsonValue(static_cast<double>(event.ts_us)));
+    if (event.kind == 0) {
+      obj.emplace("dur", JsonValue(static_cast<double>(event.dur_us)));
+    } else {
+      obj.emplace("s", JsonValue(std::string("t")));  // thread-scoped
+    }
+    obj.emplace("pid", JsonValue(1.0));
+    obj.emplace("tid", JsonValue(static_cast<double>(event.tid)));
+    if (event.has_arg) {
+      JsonValue args = JsonValue::Object();
+      args.MutableObject().emplace(
+          "value", JsonValue(static_cast<double>(event.arg)));
+      obj.emplace("args", std::move(args));
+    }
+    out.push_back(std::move(e));
+  }
+  root.MutableObject().emplace("traceEvents", std::move(array));
+  root.MutableObject().emplace("displayTimeUnit",
+                               JsonValue(std::string("ms")));
+  return root;
+}
+
+void TraceLog::WriteChromeTrace(const std::string& path) const {
+  WriteJsonFile(path, ToJson(), 0);
+}
+
+}  // namespace obs
+}  // namespace mto

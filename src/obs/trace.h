@@ -1,0 +1,127 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/util/json.h"
+
+namespace mto {
+namespace obs {
+
+/// Structured run tracing: per-thread ring-buffered spans and instants,
+/// emitted as Chrome trace-event JSON ("traceEvents" with "ph":"X"
+/// complete events and "ph":"i" instants) that loads directly in Perfetto
+/// or chrome://tracing.
+///
+/// Recording is strictly passive — it reads the steady clock and writes a
+/// fixed-size ring; it never draws randomness, never queries, and never
+/// touches session state — so tracing cannot perturb any bitwise
+/// determinism guarantee. Each thread records into its own buffer (lazily
+/// registered through a thread-local cache); a buffer's short mutex only
+/// ever sees contention from a concurrent WriteChromeTrace/ToJson reader,
+/// never from another recorder.
+///
+/// Event names must be string literals (or otherwise outlive the log):
+/// buffers store the pointer, not a copy — recording allocates nothing
+/// after the ring is built.
+class TraceLog {
+ public:
+  /// `ring_capacity` events per thread; when a ring is full the oldest
+  /// events are overwritten and `dropped` counts what was lost.
+  explicit TraceLog(size_t ring_capacity = 1 << 14);
+  ~TraceLog();
+
+  TraceLog(const TraceLog&) = delete;
+  TraceLog& operator=(const TraceLog&) = delete;
+
+  /// Microseconds since this log's construction (steady clock).
+  uint64_t NowUs() const;
+
+  /// Records a completed span [start_us, start_us + dur_us) on the calling
+  /// thread's track. Prefer the RAII TraceSpan.
+  void RecordSpan(const char* name, uint64_t start_us, uint64_t dur_us,
+                  uint64_t arg = 0, bool has_arg = false);
+
+  /// Records a point event at NowUs() on the calling thread's track.
+  void RecordInstant(const char* name, uint64_t arg = 0,
+                     bool has_arg = false);
+
+  /// Total events overwritten across all rings (ring too small).
+  uint64_t DroppedEvents() const;
+
+  /// The Chrome trace document: {"traceEvents": [...]} with events merged
+  /// across threads and sorted by timestamp.
+  JsonValue ToJson() const;
+
+  /// Writes ToJson() to `path` via the util/json writer.
+  void WriteChromeTrace(const std::string& path) const;
+
+ private:
+  struct Event {
+    const char* name;
+    uint64_t ts_us;
+    uint64_t dur_us;  ///< 0 and unused for instants
+    uint64_t arg;
+    uint32_t tid;
+    uint8_t kind;  ///< 0 = span, 1 = instant
+    bool has_arg;
+  };
+
+  struct Buffer {
+    mutable std::mutex mutex;
+    std::vector<Event> ring;
+    size_t size = 0;   ///< events stored (<= ring.size())
+    size_t head = 0;   ///< next write slot once full
+    uint64_t dropped = 0;
+    uint32_t tid = 0;
+    /// Owning TraceLog destroyed. Atomic: the thread-local cache sweep
+    /// reads it without taking the buffer mutex.
+    std::atomic<bool> retired{false};
+  };
+
+  Buffer& LocalBuffer();
+  void Push(const Event& event);
+
+  const uint64_t id_;
+  const size_t ring_capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex buffers_mutex_;
+  std::vector<std::shared_ptr<Buffer>> buffers_;
+};
+
+/// RAII span: captures NowUs() at construction, records the complete event
+/// at destruction. A null log makes both ends no-ops (observability off).
+class TraceSpan {
+ public:
+  TraceSpan(TraceLog* log, const char* name) : log_(log), name_(name) {
+    if (log_ != nullptr) start_us_ = log_->NowUs();
+  }
+  TraceSpan(TraceLog* log, const char* name, uint64_t arg)
+      : log_(log), name_(name), arg_(arg), has_arg_(true) {
+    if (log_ != nullptr) start_us_ = log_->NowUs();
+  }
+  ~TraceSpan() {
+    if (log_ != nullptr) {
+      log_->RecordSpan(name_, start_us_, log_->NowUs() - start_us_, arg_,
+                       has_arg_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceLog* log_;
+  const char* name_;
+  uint64_t start_us_ = 0;
+  uint64_t arg_ = 0;
+  bool has_arg_ = false;
+};
+
+}  // namespace obs
+}  // namespace mto

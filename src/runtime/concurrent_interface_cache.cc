@@ -49,7 +49,34 @@ void ConcurrentInterfaceCache::SetPipelineDepth(size_t depth,
       std::min(kMaxFetchThreads, channels == 0 ? kMaxFetchThreads : channels);
   if (channels_ == nullptr || channels_->size() != lanes) {
     channels_ = std::make_unique<SerialChannels>(lanes);
+    channels_->SetObservability(registry_, trace_);
   }
+}
+
+void ConcurrentInterfaceCache::SetObservability(obs::MetricsRegistry* registry,
+                                                obs::TraceLog* trace) {
+  registry_ = registry;
+  trace_ = trace;
+  if (registry == nullptr) {
+    metrics_ = CacheMetrics{};
+  } else {
+    metrics_.hits = registry->GetGauge("cache.hits");
+    metrics_.misses = registry->GetCounter("cache.misses");
+    metrics_.dedupe_waits = registry->GetCounter("cache.dedupe_waits");
+    metrics_.miss_batch = registry->GetHistogram("cache.miss_batch_size");
+    metrics_.prefetch_issued = registry->GetCounter("prefetch.issued");
+    metrics_.prefetch_consumed = registry->GetCounter("prefetch.consumed");
+    metrics_.prefetch_mispredicted =
+        registry->GetCounter("prefetch.mispredicted");
+    metrics_.prefetch_stale = registry->GetCounter("prefetch.stale_cancelled");
+  }
+  if (channels_ != nullptr) channels_->SetObservability(registry, trace);
+}
+
+void ConcurrentInterfaceCache::PublishMetrics() {
+  if (metrics_.hits == nullptr || metrics_.misses == nullptr) return;
+  metrics_.hits->Set(
+      static_cast<int64_t>(TotalRequests() - metrics_.misses->Value()));
 }
 
 void ConcurrentInterfaceCache::CancelTicket(PrefetchTicket& ticket) {
@@ -84,6 +111,7 @@ void ConcurrentInterfaceCache::DrainPipeline() {
   if (channels_ == nullptr) return;
   {
     std::lock_guard<std::mutex> lock(base_mutex_);
+    ObsAdd(metrics_.prefetch_stale, tickets_.size());
     for (auto& entry : tickets_) CancelTicket(*entry.second);
     tickets_.clear();
   }
@@ -101,6 +129,9 @@ void ConcurrentInterfaceCache::PipelinedFetch(
   // Mirror BatchQuery's request accounting: one request per frontier slot.
   total_requests_.fetch_add(frontier.size(), std::memory_order_relaxed);
   if (frontier.empty()) return;
+  // Every frontier slot goes to the planner: all misses by construction.
+  ObsAdd(metrics_.misses, frontier.size());
+  ObsRecord(metrics_.miss_batch, frontier.size());
   if (!PipelineActive()) {
     throw std::logic_error("PipelinedFetch: pipeline inactive");
   }
@@ -153,12 +184,14 @@ void ConcurrentInterfaceCache::PipelinedFetch(
   std::unordered_map<uint32_t, uint32_t> prepaid;
   for (size_t i = 0; i < frontier.size(); ++i) {
     if (!consumed[i]) continue;
+    ObsAdd(metrics_.prefetch_consumed);
     const uint32_t actual = i < deferred->first_backend.size()
                                 ? deferred->first_backend[i]
                                 : UINT32_MAX;
     if (actual != UINT32_MAX && consumed[i]->backend == actual) {
       ++prepaid[actual];
     } else {
+      ObsAdd(metrics_.prefetch_mispredicted);
       CancelTicket(*consumed[i]);
     }
   }
@@ -207,6 +240,7 @@ void ConcurrentInterfaceCache::PostPrefetchHints(
     // predicted and this round did not consume is stale now — cancel it.
     // The stale set is exactly (predicted \ consumed), a pure function of
     // the crawl state, never of timing.
+    ObsAdd(metrics_.prefetch_stale, tickets_.size());
     for (auto& entry : tickets_) CancelTicket(*entry.second);
     tickets_.clear();
     std::vector<NodeId> fresh;
@@ -225,6 +259,7 @@ void ConcurrentInterfaceCache::PostPrefetchHints(
       ticket->backend = (*plan)[i];
       tickets_.emplace(fresh[i], ticket);
       routes.push_back({std::move(ticket)});
+      ObsAdd(metrics_.prefetch_issued);
     }
   }
   // Tickets are wall-clock-only: each live one occupies its predicted
@@ -275,12 +310,14 @@ std::optional<bool> ConcurrentInterfaceCache::PipelinedQueryMiss(NodeId v) {
   if (!deferred) return std::nullopt;  // caller falls back to the sync path
   uint32_t prepaid_backend = UINT32_MAX;
   if (ticket) {
+    ObsAdd(metrics_.prefetch_consumed);
     const uint32_t actual = deferred->first_backend.empty()
                                 ? UINT32_MAX
                                 : deferred->first_backend[0];
     if (actual != UINT32_MAX && ticket->backend == actual) {
       prepaid_backend = actual;
     } else {
+      ObsAdd(metrics_.prefetch_mispredicted);
       CancelTicket(*ticket);
     }
   }
@@ -381,9 +418,15 @@ void ConcurrentInterfaceCache::Reset() {
 bool ConcurrentInterfaceCache::ClaimFetch(NodeId v) {
   Shard& s = shard(v);
   std::unique_lock<std::mutex> lock(s.mutex);
+  bool counted_wait = false;
   while (true) {
     if (cached_flags_[v].load(std::memory_order_acquire) != 0) return false;
     if (s.in_flight.insert(v).second) return true;  // we own the fetch
+    if (!counted_wait) {
+      // One dedupe wait per episode, not per spurious wakeup.
+      ObsAdd(metrics_.dedupe_waits);
+      counted_wait = true;
+    }
     s.cv.wait(lock);  // another walker is fetching v; share its response
   }
 }
@@ -404,11 +447,15 @@ std::optional<QueryResult> ConcurrentInterfaceCache::Query(NodeId v) {
   }
   total_requests_.fetch_add(1, std::memory_order_relaxed);
   // Lock-free hit path: the network is immutable, so a set flag is enough
-  // to materialize the response locally.
+  // to materialize the response locally. Hits are deliberately not
+  // counted here — PublishMetrics derives them from total_requests_.
   if (cached_flags_[v].load(std::memory_order_acquire) != 0) {
     return MakeResult(v);
   }
-  if (!ClaimFetch(v)) return MakeResult(v);  // cached while we waited
+  if (!ClaimFetch(v)) {
+    return MakeResult(v);  // cached while we waited (a hit, derived)
+  }
+  ObsAdd(metrics_.misses);  // we own the fetch, whatever its outcome
   if (PipelineActive()) {
     // Commit-phase misses while the pipeline is live: ledger applies keep
     // lane FIFO order, but the wire time is paid inline on this thread —
@@ -496,6 +543,12 @@ std::vector<std::optional<QueryResult>> ConcurrentInterfaceCache::BatchQuery(
       busy.push_back(v);
     }
   }
+  // Busy ids re-enter through Query below and count themselves there; of
+  // the rest, claims are misses and everything else (duplicates within the
+  // batch, already-cached ids) was answered from cache (hits, derived at
+  // PublishMetrics time).
+  ObsAdd(metrics_.misses, claimed.size());
+  ObsRecord(metrics_.miss_batch, claimed.size());
 
   if (!claimed.empty()) {
     std::optional<DeferredFetch> deferred;

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "src/net/restricted_interface.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/serial_channels.h"
 #include "src/util/task_queue.h"
 
@@ -162,6 +164,26 @@ class ConcurrentInterfaceCache final : public RestrictedInterface {
   /// Clears this cache and the wrapped session. Not thread-safe.
   void Reset() override;
 
+  /// Attaches (or detaches, with nulls) passive telemetry. Resolves metric
+  /// pointers once so the hot paths pay a null check + one relaxed
+  /// increment; never draws randomness, queries, or mutates session state.
+  /// Forwarded to the pipelined engine's SerialChannels (existing and
+  /// future). Call between rounds only, like the other mode switches.
+  ///
+  /// Metric catalog (docs/observability.md): cache.hits (gauge, derived at
+  /// PublishMetrics time), cache.misses (fetch claims, refusals included;
+  /// hits + misses == TotalRequests), cache.dedupe_waits,
+  /// cache.miss_batch_size (histogram),
+  /// prefetch.issued / consumed / mispredicted / stale_cancelled.
+  void SetObservability(obs::MetricsRegistry* registry, obs::TraceLog* trace);
+
+  /// Publishes the derived cache.hits gauge: TotalRequests() minus the
+  /// miss counter. Hits are *not* counted on the hot path — the lock-free
+  /// hit path already bumps the session's total-request counter, so the
+  /// split is pure arithmetic at pull time (exact at quiescent points,
+  /// like BackendPool::PublishMetrics). No-op when observability is off.
+  void PublishMetrics();
+
  private:
   struct Shard {
     std::mutex mutex;
@@ -211,9 +233,27 @@ class ConcurrentInterfaceCache final : public RestrictedInterface {
   /// session cannot plan (caller falls back to the sync path).
   std::optional<bool> PipelinedQueryMiss(NodeId v);
 
+  /// Resolved metric pointers; all null when observability is off.
+  /// `hits` is a gauge, not a counter: the lock-free hit path is the
+  /// hottest line in the crawl, so hits are derived at publish time from
+  /// the pre-existing total-request counter instead of being counted.
+  struct CacheMetrics {
+    obs::Gauge* hits = nullptr;
+    obs::Counter* misses = nullptr;
+    obs::Counter* dedupe_waits = nullptr;
+    obs::Histogram* miss_batch = nullptr;
+    obs::Counter* prefetch_issued = nullptr;
+    obs::Counter* prefetch_consumed = nullptr;
+    obs::Counter* prefetch_mispredicted = nullptr;
+    obs::Counter* prefetch_stale = nullptr;
+  };
+
   RestrictedInterface* base_;
   std::unique_ptr<std::atomic<uint8_t>[]> cached_flags_;
   std::atomic<uint64_t> total_requests_{0};
+  CacheMetrics metrics_;
+  obs::MetricsRegistry* registry_ = nullptr;
+  obs::TraceLog* trace_ = nullptr;
   mutable std::mutex base_mutex_;
   Shard shards_[kShards];
   FetchMode fetch_mode_ = FetchMode::kSync;

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "src/core/mto_sampler.h"
 #include "src/runtime/concurrent_interface_cache.h"
 
 namespace mto {
@@ -45,8 +46,39 @@ CrawlScheduler::CrawlScheduler(RestrictedInterface& interface,
 
 CrawlScheduler::~CrawlScheduler() = default;
 
+void CrawlScheduler::SetObservability(obs::MetricsRegistry* registry,
+                                      obs::TraceLog* trace) {
+  trace_ = trace;
+  if (registry == nullptr) {
+    metrics_ = SchedulerMetrics{};
+  } else {
+    metrics_.rounds = registry->GetCounter("scheduler.rounds");
+    metrics_.steps = registry->GetCounter("scheduler.steps");
+    metrics_.speculative_commits =
+        registry->GetGauge("scheduler.speculative_commits");
+    metrics_.speculation_hits =
+        registry->GetGauge("scheduler.speculation_hits");
+  }
+  if (cache_ != nullptr) cache_->SetObservability(registry, trace);
+}
+
+void CrawlScheduler::RefreshSpeculationGauges() {
+  if (metrics_.speculative_commits == nullptr) return;
+  int64_t commits = 0;
+  int64_t hits = 0;
+  for (const auto& walker : walkers_) {
+    if (const auto* mto = dynamic_cast<const MtoSampler*>(walker.get())) {
+      commits += static_cast<int64_t>(mto->speculative_commits());
+      hits += static_cast<int64_t>(mto->speculation_hits());
+    }
+  }
+  metrics_.speculative_commits->Set(commits);
+  metrics_.speculation_hits->Set(hits);
+}
+
 void CrawlScheduler::RunRounds(size_t rounds,
                                std::vector<double>* diagnostics) {
+  obs::TraceSpan span(trace_, "scheduler.rounds", rounds);
   const bool pipelined = cache_ != nullptr && cache_->PipelineActive();
   if (config_.coalesce_frontier) {
     if (pipelined) {
@@ -61,6 +93,11 @@ void CrawlScheduler::RunRounds(size_t rounds,
   // (checkpoints, ledger/stat reads): leave the pipeline quiescent.
   if (pipelined) cache_->DrainPipeline();
   total_steps_ += rounds * walkers_.size();
+  ObsAdd(metrics_.rounds, rounds);
+  ObsAdd(metrics_.steps, rounds * walkers_.size());
+  // Passive read of the walkers' own speculation counters — legal here
+  // because no walker is running between RunRounds calls.
+  RefreshSpeculationGauges();
 }
 
 void CrawlScheduler::RunFreeRounds(size_t rounds,
@@ -91,6 +128,7 @@ void CrawlScheduler::RunFreeRounds(size_t rounds,
 }
 
 void CrawlScheduler::RunCoalescedRound(std::vector<double>* diagnostics) {
+  obs::TraceSpan round_span(trace_, "round.coalesced");
   const size_t W = walkers_.size();
   // Phase 1 (parallel): draw or peek step targets; proposals never fetch.
   pool_->Run([&](size_t t) {
@@ -116,7 +154,10 @@ void CrawlScheduler::RunCoalescedRound(std::vector<double>* diagnostics) {
       }
     }
   }
-  if (!frontier_.empty()) interface_->BatchQuery(frontier_);
+  if (!frontier_.empty()) {
+    obs::TraceSpan fetch_span(trace_, "frontier.fetch", frontier_.size());
+    interface_->BatchQuery(frontier_);
+  }
   // Phase 3 (parallel): commit against the now-warm cache. kTwoPhase walks
   // move (only) to their announced target; kSpeculative walks re-validate
   // their speculation inside CommitStep (or take a plain Step when there
@@ -153,6 +194,7 @@ void CrawlScheduler::RunCoalescedRound(std::vector<double>* diagnostics) {
 }
 
 void CrawlScheduler::RunPipelinedRound(std::vector<double>* diagnostics) {
+  obs::TraceSpan round_span(trace_, "round.pipelined");
   const size_t W = walkers_.size();
   // Phases 1 and 2 are identical to the lock-step round — same coordinator
   // thread, same frontier order, identical state mutations — except that
@@ -179,7 +221,10 @@ void CrawlScheduler::RunPipelinedRound(std::vector<double>* diagnostics) {
       }
     }
   }
-  if (!frontier_.empty()) cache_->PipelinedFetch(frontier_);
+  if (!frontier_.empty()) {
+    obs::TraceSpan fetch_span(trace_, "frontier.plan", frontier_.size());
+    cache_->PipelinedFetch(frontier_);
+  }
   size_t diag_base = 0;
   if (diagnostics != nullptr) {
     diag_base = diagnostics->size();

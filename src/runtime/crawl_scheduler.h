@@ -6,6 +6,8 @@
 #include <memory>
 #include <vector>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/rng.h"
 #include "src/util/thread_pool.h"
 #include "src/walk/sampler.h"
@@ -127,6 +129,15 @@ class CrawlScheduler {
   void RestoreWalkers(const std::vector<WalkerState>& states,
                       uint64_t total_steps);
 
+  /// Attaches passive telemetry (null pointers detach) and forwards it to
+  /// the concurrent cache when the scheduler drives one. Round spans land
+  /// on the trace; scheduler.rounds / scheduler.steps count progress; the
+  /// speculation gauges (scheduler.speculative_commits / speculation_hits)
+  /// are refreshed after every RunRounds by *reading* the MTO walkers'
+  /// own counters — observability never adds bookkeeping to the step path.
+  /// Call between RunRounds calls only.
+  void SetObservability(obs::MetricsRegistry* registry, obs::TraceLog* trace);
+
  private:
   void RunFreeRounds(size_t rounds, std::vector<double>* diagnostics);
   void RunCoalescedRound(std::vector<double>* diagnostics);
@@ -142,6 +153,20 @@ class CrawlScheduler {
   std::vector<std::unique_ptr<Sampler>> walkers_;
   std::unique_ptr<ThreadPool> pool_;
   uint64_t total_steps_ = 0;
+
+  /// Resolved metric pointers; all null when observability is off.
+  struct SchedulerMetrics {
+    obs::Counter* rounds = nullptr;
+    obs::Counter* steps = nullptr;
+    obs::Gauge* speculative_commits = nullptr;
+    obs::Gauge* speculation_hits = nullptr;
+  };
+  SchedulerMetrics metrics_;
+  obs::TraceLog* trace_ = nullptr;
+
+  /// Refreshes the speculation gauges from the walkers' counters (pure
+  /// reads; no-op when metrics are off or no walker is an MtoSampler).
+  void RefreshSpeculationGauges();
 
   // Scratch for coalesced rounds (stable across rounds to avoid churn).
   std::vector<std::optional<NodeId>> proposals_;

@@ -14,14 +14,29 @@ EstimationPipeline::EstimationPipeline(const Options& options)
 
 EstimationPipeline::~EstimationPipeline() { Finish(); }
 
+void EstimationPipeline::SetObservability(obs::MetricsRegistry* registry,
+                                          obs::TraceLog* trace) {
+  trace_log_ = trace;
+  if (registry == nullptr) {
+    metrics_ = PipelineMetrics{};
+    return;
+  }
+  metrics_.queue_depth = registry->GetGauge("pipeline.queue_depth");
+  metrics_.diagnostics = registry->GetCounter("pipeline.diagnostics");
+  metrics_.samples = registry->GetCounter("pipeline.samples");
+}
+
 void EstimationPipeline::PushDiagnostics(std::span<const double> thetas) {
   for (double theta : thetas) {
     queue_.Push(Item{Item::Kind::kDiagnostic, theta, 0.0, 0});
+    ObsAdd(metrics_.queue_depth, 1);
   }
   pushed_diagnostics_ += thetas.size();
+  ObsAdd(metrics_.diagnostics, thetas.size());
 }
 
 bool EstimationPipeline::ConvergedAfter(size_t num_observations) {
+  obs::TraceSpan span(trace_log_, "pipeline.converge_wait", num_observations);
   while (consumed_diagnostics_.load(std::memory_order_acquire) <
          num_observations) {
     std::this_thread::sleep_for(std::chrono::microseconds(50));
@@ -33,6 +48,8 @@ bool EstimationPipeline::ConvergedAfter(size_t num_observations) {
 void EstimationPipeline::PushSample(double value, double weight,
                                     uint64_t query_cost) {
   queue_.Push(Item{Item::Kind::kSample, value, weight, query_cost});
+  ObsAdd(metrics_.queue_depth, 1);
+  ObsAdd(metrics_.samples);
 }
 
 EstimationPipeline::Result EstimationPipeline::Finish() {
@@ -54,6 +71,7 @@ EstimationPipeline::Result EstimationPipeline::Finish() {
 void EstimationPipeline::ConsumerLoop() {
   Item item;
   while (queue_.Pop(item)) {
+    ObsAdd(metrics_.queue_depth, -1);
     switch (item.kind) {
       case Item::Kind::kDiagnostic: {
         monitor_.Add(item.value);

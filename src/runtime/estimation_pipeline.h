@@ -8,6 +8,8 @@
 
 #include "src/estimate/estimators.h"
 #include "src/mcmc/geweke.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/runtime/spsc_queue.h"
 
 namespace mto {
@@ -82,6 +84,13 @@ class EstimationPipeline {
   /// Idempotent; after the first call the stored result is returned.
   Result Finish();
 
+  /// Attaches passive telemetry: pipeline.queue_depth gauge (producer +1
+  /// per push, consumer -1 per pop), pipeline.diagnostics / samples
+  /// counters, and a "pipeline.converge_wait" span around the
+  /// ConvergedAfter block. Null pointers detach. Producer-thread only,
+  /// between pushes.
+  void SetObservability(obs::MetricsRegistry* registry, obs::TraceLog* trace);
+
  private:
   struct Item {
     enum class Kind : uint8_t { kDiagnostic, kSample } kind;
@@ -108,6 +117,17 @@ class EstimationPipeline {
 
   std::atomic<size_t> consumed_diagnostics_{0};
   std::atomic<size_t> converged_at_{0};  // 0 = not (yet) converged
+
+  /// Resolved metric pointers; all null when observability is off. The
+  /// queue-depth gauge is written from both sides of the queue (atomic
+  /// add), everything else from the producer.
+  struct PipelineMetrics {
+    obs::Gauge* queue_depth = nullptr;
+    obs::Counter* diagnostics = nullptr;
+    obs::Counter* samples = nullptr;
+  };
+  PipelineMetrics metrics_;
+  obs::TraceLog* trace_log_ = nullptr;
 };
 
 }  // namespace mto

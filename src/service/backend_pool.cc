@@ -133,6 +133,48 @@ uint64_t BackendPool::SimulatedTimeUs() const {
   return max_clock;
 }
 
+void BackendPool::PublishMetrics(obs::MetricsRegistry& registry) const {
+  const auto set = [&](const char* name, const std::string& backend,
+                       uint64_t value) {
+    registry.GetGauge(name, "backend", backend)
+        ->Set(static_cast<int64_t>(value));
+  };
+  uint64_t pool_requests = 0;
+  uint64_t pool_clock = 0;
+  for (size_t b = 0; b < ledgers_.size(); ++b) {
+    const std::string& name = configs_[b].name;
+    BackendStats s;
+    uint64_t clock;
+    {
+      std::lock_guard<std::mutex> lock(ledger_mutexes_[b]);
+      s = ledgers_[b].stats;
+      clock = ledgers_[b].clock_us;
+    }
+    set("backend.requests", name, s.requests);
+    set("backend.unique_queries", name, s.unique_queries);
+    set("backend.failed_requests", name, s.failed_requests);
+    set("backend.timeouts", name, s.timeouts);
+    set("backend.transient_errors", name, s.transient_errors);
+    set("backend.quota_rejections", name, s.quota_rejections);
+    set("backend.budget_refusals", name, s.budget_refusals);
+    set("backend.pacing_waits", name, s.pacing_waits);
+    set("backend.simulated_us", name, s.simulated_us);
+    if (configs_[b].budget) {
+      const uint64_t budget = *configs_[b].budget;
+      set("backend.budget_remaining", name,
+          budget > s.unique_queries ? budget - s.unique_queries : 0);
+    }
+    pool_requests += s.requests;
+    pool_clock = std::max(pool_clock, clock);
+  }
+  registry.GetGauge("pool.backend_requests")
+      ->Set(static_cast<int64_t>(pool_requests));
+  registry.GetGauge("pool.failed_fetches")
+      ->Set(static_cast<int64_t>(failed_fetches_));
+  registry.GetGauge("pool.simulated_us")
+      ->Set(static_cast<int64_t>(pool_clock));
+}
+
 BackendPool::PoolSnapshot BackendPool::SnapshotBackends() const {
   PoolSnapshot snapshot;
   snapshot.ledgers.reserve(ledgers_.size());

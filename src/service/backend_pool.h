@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/net/restricted_interface.h"
+#include "src/obs/metrics.h"
 #include "src/service/retry_policy.h"
 
 namespace mto {
@@ -182,6 +183,16 @@ class BackendPool final : public RestrictedInterface {
   void RestoreBackends(const PoolSnapshot& snapshot);
 
   void Reset() override;
+
+  /// Publishes the current ledgers into `registry` as labeled gauges
+  /// (backend.requests{backend=name}, .unique_queries, .failed_requests,
+  /// .timeouts, .transient_errors, .quota_rejections, .budget_refusals,
+  /// .pacing_waits, .simulated_us, .budget_remaining where budgeted) plus
+  /// pool.failed_fetches / pool.backend_requests / pool.simulated_us.
+  /// Strictly a pull: reads each ledger under its mutex and writes the
+  /// registry — the fetch path carries no extra bookkeeping. Call at
+  /// quiescent points (between rounds / at snapshot time).
+  void PublishMetrics(obs::MetricsRegistry& registry) const;
 
   /// The async fetch entry point (see RestrictedInterface): plans every
   /// miss on the calling thread and returns one deferred ledger/latency

@@ -1,6 +1,8 @@
 #include "src/service/crawl_service.h"
 
 #include <algorithm>
+#include <chrono>
+#include <filesystem>
 #include <stdexcept>
 
 #include "src/graph/datasets.h"
@@ -59,6 +61,25 @@ CrawlService::CrawlService(const ScenarioConfig& config)
 
   collection_rounds_target_ =
       (config_.num_samples + config_.num_walkers - 1) / config_.num_walkers;
+
+  // Observability: the service owns the registry and trace log; every layer
+  // below holds raw pointers into them (null = off). Attaching is strictly
+  // passive — wall-clock reads and atomic telemetry writes only — so the
+  // crawl's results are bit-identical with or without this block.
+  if (config_.observability.metrics) {
+    registry_ = std::make_unique<obs::MetricsRegistry>();
+    ckpt_save_us_ = registry_->GetHistogram("checkpoint.save_us");
+    ckpt_save_bytes_ = registry_->GetHistogram("checkpoint.save_bytes");
+    ckpt_load_us_ = registry_->GetHistogram("checkpoint.load_us");
+    ckpt_load_bytes_ = registry_->GetHistogram("checkpoint.load_bytes");
+  }
+  if (!config_.observability.trace_path.empty()) {
+    trace_log_ = std::make_unique<obs::TraceLog>();
+  }
+  if (registry_ != nullptr || trace_log_ != nullptr) {
+    scheduler_->SetObservability(registry_.get(), trace_log_.get());
+    pipeline_->SetObservability(registry_.get(), trace_log_.get());
+  }
 }
 
 CrawlService::~CrawlService() = default;
@@ -98,10 +119,21 @@ void CrawlService::CollectionRound() {
   }
 }
 
+void CrawlService::TakeSnapshot() {
+  if (registry_ == nullptr) return;
+  // Pull model: the pool's ledgers become labeled gauges and the cache's
+  // hit split is derived only now, at a quiescent unit boundary — the
+  // fetch and hit paths never touch the registry.
+  pool_->PublishMetrics(*registry_);
+  session_->PublishMetrics();
+  snapshots_.push_back(registry_->Snapshot(units_done_));
+}
+
 bool CrawlService::Advance() {
   if (phase_ == CrawlPhase::kDone) return false;
   started_ = true;
   if (phase_ == CrawlPhase::kBurnIn) {
+    obs::TraceSpan span(trace_log_.get(), "unit.burn_in", units_done_ + 1);
     const size_t epoch = std::max<size_t>(1, config_.geweke_check_every);
     const size_t chunk =
         std::min(epoch, config_.max_burn_in_rounds - rounds_);
@@ -120,9 +152,15 @@ bool CrawlService::Advance() {
     if (burn_in_converged_ || rounds_ >= config_.max_burn_in_rounds) {
       EndBurnIn();
     }
-    return true;
+  } else {
+    obs::TraceSpan span(trace_log_.get(), "unit.collect", units_done_ + 1);
+    CollectionRound();
   }
-  CollectionRound();
+  ++units_done_;
+  if (config_.observability.snapshot_every_units > 0 &&
+      units_done_ % config_.observability.snapshot_every_units == 0) {
+    TakeSnapshot();
+  }
   return true;
 }
 
@@ -161,8 +199,73 @@ ServiceResult CrawlService::Finish() {
     result_.simulated_time_us = pool_->SimulatedTimeUs();
     result_.backend_stats = pool_->AllBackendStats();
     finished_ = true;
+    // Telemetry epilogue: one final snapshot, then the configured files.
+    // Writing happens after the result surface is frozen, so a report
+    // failure cannot corrupt a crawl that already succeeded.
+    TakeSnapshot();
+    if (!config_.observability.report_path.empty()) {
+      WriteJsonFile(config_.observability.report_path, RunReport());
+    }
+    if (trace_log_ != nullptr && !config_.observability.trace_path.empty()) {
+      trace_log_->WriteChromeTrace(config_.observability.trace_path);
+    }
   }
   return result_;
+}
+
+JsonValue CrawlService::RunReport() const {
+  JsonValue report = JsonValue::Object();
+  auto& root = report.MutableObject();
+
+  JsonValue scenario = JsonValue::Object();
+  auto& sc = scenario.MutableObject();
+  sc["dataset"] = JsonValue(config_.dataset);
+  sc["sampler"] = JsonValue(std::string(SamplerKindKey(config_.sampler)));
+  sc["attribute"] = JsonValue(std::string(AttributeKey(config_.attribute)));
+  sc["seed"] = JsonValue(static_cast<double>(config_.seed));
+  sc["walkers"] = JsonValue(static_cast<double>(config_.num_walkers));
+  sc["threads"] = JsonValue(static_cast<double>(config_.num_threads));
+  sc["routing"] =
+      JsonValue(std::string(BackendSelectionName(config_.strategy)));
+  sc["backends"] = JsonValue(static_cast<double>(
+      config_.backends.empty() ? 1 : config_.backends.size()));
+  sc["fingerprint"] = JsonValue(static_cast<double>(config_.Fingerprint()));
+  root["scenario"] = std::move(scenario);
+
+  JsonValue result = JsonValue::Object();
+  auto& res = result.MutableObject();
+  res["final_estimate"] = JsonValue(result_.final_estimate);
+  res["burn_in_converged"] = JsonValue(result_.burn_in_converged);
+  res["burn_in_rounds"] =
+      JsonValue(static_cast<double>(result_.burn_in_rounds));
+  res["total_rounds"] = JsonValue(static_cast<double>(result_.total_rounds));
+  res["total_steps"] = JsonValue(static_cast<double>(result_.total_steps));
+  res["num_samples"] =
+      JsonValue(static_cast<double>(result_.samples.size()));
+  res["total_query_cost"] =
+      JsonValue(static_cast<double>(result_.total_query_cost));
+  res["backend_requests"] =
+      JsonValue(static_cast<double>(result_.backend_requests));
+  res["failed_fetches"] =
+      JsonValue(static_cast<double>(result_.failed_fetches));
+  res["simulated_time_us"] =
+      JsonValue(static_cast<double>(result_.simulated_time_us));
+  root["result"] = std::move(result);
+
+  JsonValue snaps = JsonValue::Array();
+  for (const obs::StatsSnapshot& snapshot : snapshots_) {
+    snaps.MutableArray().push_back(snapshot.ToJson());
+  }
+  root["snapshots"] = std::move(snaps);
+
+  JsonValue trace = JsonValue::Object();
+  auto& tr = trace.MutableObject();
+  tr["enabled"] = JsonValue(trace_log_ != nullptr);
+  tr["dropped_events"] = JsonValue(static_cast<double>(
+      trace_log_ != nullptr ? trace_log_->DroppedEvents() : 0));
+  root["trace"] = std::move(trace);
+
+  return report;
 }
 
 void CrawlService::SaveCheckpoint(const std::string& path) {
@@ -194,7 +297,21 @@ void CrawlService::SaveCheckpoint(const std::string& path) {
                                walker.frozen() ? uint8_t{1} : uint8_t{0}});
     }
   }
-  ckpt.Save(path);
+  const auto start = std::chrono::steady_clock::now();
+  {
+    obs::TraceSpan span(trace_log_.get(), "checkpoint.save");
+    ckpt.Save(path);
+  }
+  ObsRecord(ckpt_save_us_,
+            static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count()));
+  if (ckpt_save_bytes_ != nullptr) {
+    std::error_code ec;
+    const auto bytes = std::filesystem::file_size(path, ec);
+    if (!ec) ckpt_save_bytes_->Record(static_cast<uint64_t>(bytes));
+  }
 }
 
 void CrawlService::LoadCheckpoint(const std::string& path) {
@@ -202,7 +319,18 @@ void CrawlService::LoadCheckpoint(const std::string& path) {
     throw std::logic_error(
         "LoadCheckpoint: restore requires a freshly constructed service");
   }
+  const auto load_start = std::chrono::steady_clock::now();
   const ServiceCheckpoint ckpt = ServiceCheckpoint::Load(path);
+  ObsRecord(ckpt_load_us_,
+            static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - load_start)
+                    .count()));
+  if (ckpt_load_bytes_ != nullptr) {
+    std::error_code ec;
+    const auto bytes = std::filesystem::file_size(path, ec);
+    if (!ec) ckpt_load_bytes_->Record(static_cast<uint64_t>(bytes));
+  }
   if (ckpt.config_fingerprint != config_.Fingerprint()) {
     throw std::runtime_error(
         "LoadCheckpoint: checkpoint was written by a different scenario");

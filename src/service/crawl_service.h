@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "src/experiments/harness.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/runtime/concurrent_interface_cache.h"
 #include "src/runtime/crawl_scheduler.h"
 #include "src/runtime/estimation_pipeline.h"
@@ -62,6 +64,7 @@ class CrawlService {
   const ScenarioConfig& config() const { return config_; }
   const SocialNetwork& network() const { return network_; }
   const BackendPool& pool() const { return *pool_; }
+  const ConcurrentInterfaceCache& session() const { return *session_; }
   CrawlPhase phase() const { return phase_; }
   size_t rounds() const { return rounds_; }
 
@@ -88,12 +91,40 @@ class CrawlService {
   /// fingerprint mismatch or corrupt files.
   void LoadCheckpoint(const std::string& path);
 
+  /// The run's metrics registry / trace log; null unless the scenario's
+  /// observability block enabled them. Telemetry is strictly passive —
+  /// results are bit-identical with it on or off (the equivalence suites
+  /// pin this) — so these exist purely for reading.
+  obs::MetricsRegistry* metrics() { return registry_.get(); }
+  obs::TraceLog* trace_log() { return trace_log_.get(); }
+
+  /// Periodic StatsSnapshots taken every snapshot_every_units Advance
+  /// units (plus the final one Finish() appends). After a LoadCheckpoint
+  /// the cadence restarts from the resume point; counters restart from
+  /// zero (telemetry is not checkpoint state — only results are).
+  const std::vector<obs::StatsSnapshot>& snapshots() const { return snapshots_; }
+
+  /// The final run report as JSON: scenario echo, result surface, every
+  /// obs::StatsSnapshot, and trace-drop accounting. Valid after Finish().
+  JsonValue RunReport() const;
+
  private:
   void EndBurnIn();
   void CollectionRound();
+  /// Captures a obs::StatsSnapshot tagged with the current unit count,
+  /// publishing the pool ledgers into the registry first (pull model).
+  void TakeSnapshot();
 
   ScenarioConfig config_;
   SocialNetwork network_;
+
+  // Observability (all null/empty when the scenario leaves it off).
+  // Declared before the crawl components: scheduler and pipeline threads
+  // record into these until their destructors join, so the registry and
+  // trace log must be destroyed last (reverse declaration order).
+  std::unique_ptr<obs::MetricsRegistry> registry_;
+  std::unique_ptr<obs::TraceLog> trace_log_;
+
   std::unique_ptr<BackendPool> pool_;
   std::unique_ptr<ConcurrentInterfaceCache> session_;
   std::unique_ptr<CrawlScheduler> scheduler_;
@@ -115,6 +146,15 @@ class CrawlService {
   bool started_ = false;  ///< any Advance or LoadCheckpoint happened
   bool finished_ = false;
   ServiceResult result_;
+
+  // Observability outputs (registry_/trace_log_ live above the components).
+  std::vector<obs::StatsSnapshot> snapshots_;
+  uint64_t units_done_ = 0;  ///< Advance units completed (snapshot cadence)
+  /// Checkpoint I/O telemetry, resolved once at construction.
+  obs::Histogram* ckpt_save_us_ = nullptr;
+  obs::Histogram* ckpt_save_bytes_ = nullptr;
+  obs::Histogram* ckpt_load_us_ = nullptr;
+  obs::Histogram* ckpt_load_bytes_ = nullptr;
 };
 
 }  // namespace mto

@@ -126,7 +126,7 @@ ScenarioConfig ScenarioConfig::FromJson(const JsonValue& root) {
              "fetch_threads", "pipeline_depth", "queue_capacity", "geweke",
              "max_burn_in_rounds", "num_samples", "thinning", "total_budget",
              "backends", "strategy", "routing", "retry", "fault_seed",
-             "checkpoint"});
+             "checkpoint", "observability"});
   ScenarioConfig config;
   if (root.Has("dataset")) config.dataset = root.At("dataset").AsString();
   if (root.Has("seed")) config.seed = root.At("seed").AsUint();
@@ -229,6 +229,24 @@ ScenarioConfig ScenarioConfig::FromJson(const JsonValue& root) {
       config.checkpoint.every_units = checkpoint.At("every_units").AsUint();
     }
   }
+  if (root.Has("observability")) {
+    const JsonValue& obs = root.At("observability");
+    CheckKeys(obs, "observability",
+              {"metrics", "trace_path", "report_path", "snapshot_every_units"});
+    if (obs.Has("metrics")) {
+      config.observability.metrics = obs.At("metrics").AsBool();
+    }
+    if (obs.Has("trace_path")) {
+      config.observability.trace_path = obs.At("trace_path").AsString();
+    }
+    if (obs.Has("report_path")) {
+      config.observability.report_path = obs.At("report_path").AsString();
+    }
+    if (obs.Has("snapshot_every_units")) {
+      config.observability.snapshot_every_units =
+          obs.At("snapshot_every_units").AsUint();
+    }
+  }
   config.Validate();
   return config;
 }
@@ -263,6 +281,16 @@ void ScenarioConfig::Validate() const {
   if (checkpoint.every_units > 0 && checkpoint.path.empty()) {
     throw std::invalid_argument(
         "ScenarioConfig: checkpoint.every_units set without checkpoint.path");
+  }
+  if (observability.snapshot_every_units > 0 && !observability.metrics) {
+    throw std::invalid_argument(
+        "ScenarioConfig: observability.snapshot_every_units requires "
+        "observability.metrics");
+  }
+  if (!observability.report_path.empty() && !observability.metrics) {
+    throw std::invalid_argument(
+        "ScenarioConfig: observability.report_path requires "
+        "observability.metrics");
   }
 }
 
@@ -304,7 +332,10 @@ uint64_t ScenarioConfig::Fingerprint() const {
   // pipeline_depth, and queue_capacity are deliberately excluded: results
   // are bit-identical across them (the runtime contract), so a checkpoint
   // from a 1-thread sync run may resume on 8 threads with pipelined async
-  // fetches, and vice versa. The routing strategy is excluded too — not
+  // fetches, and vice versa. The observability block is excluded for the
+  // same reason — telemetry is strictly passive (no RNG draws, no queries,
+  // no session-state mutation), so a run may be resumed with observability
+  // toggled either way. The routing strategy is excluded too — not
   // because results match across policies (they don't), but because
   // resuming under a different policy is a legitimate live rotation: the
   // ledgers, cache, and walker states are policy-independent facts, and

@@ -19,6 +19,20 @@ struct CheckpointConfig {
   size_t every_units = 0;    ///< save every N Advance() units; 0 = disabled
 };
 
+/// Passive telemetry of a CrawlService run (all off by default). Strictly
+/// observational: enabling any of it draws no randomness, issues no
+/// queries, and mutates no session state, so results stay bit-identical to
+/// an unobserved run — which is also why the block is excluded from the
+/// checkpoint fingerprint (see ScenarioConfig::Fingerprint).
+struct ObservabilityConfig {
+  bool metrics = false;       ///< maintain the MetricsRegistry
+  std::string trace_path;     ///< Chrome trace JSON out; empty = no tracing
+  std::string report_path;    ///< final run-report JSON; empty = disabled
+  /// Take a StatsSnapshot every N Advance() units (kept in memory, emitted
+  /// in the run report); 0 = final snapshot only.
+  size_t snapshot_every_units = 0;
+};
+
 /// Complete description of a crawl-service run, loadable from JSON: the
 /// dataset, the sampler and estimation parameters, the crawl-runtime shape
 /// (walkers/threads/stepping mode), the backend fleet with its retry and
@@ -50,7 +64,10 @@ struct CheckpointConfig {
 ///      "timeout_rate": 0.02, "error_rate": 0.05, "quota_rate": 0.01,
 ///      "timeout_us": 50000}
 ///   ],
-///   "checkpoint": {"path": "crawl.ckpt", "every_units": 4}
+///   "checkpoint": {"path": "crawl.ckpt", "every_units": 4},
+///   "observability": {"metrics": true, "snapshot_every_units": 2,
+///                     "trace_path": "run.trace.json",
+///                     "report_path": "run.report.json"}
 /// }
 /// ```
 struct ScenarioConfig {
@@ -99,6 +116,7 @@ struct ScenarioConfig {
   uint64_t fault_seed = 0x5EED;
 
   CheckpointConfig checkpoint;
+  ObservabilityConfig observability;
 
   /// Parses and validates; throws std::runtime_error (json errors) or
   /// std::invalid_argument (semantic errors) with a descriptive message.

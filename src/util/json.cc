@@ -1,6 +1,7 @@
 #include "src/util/json.h"
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -268,6 +269,124 @@ std::vector<std::string> JsonValue::Keys() const {
   std::vector<std::string> keys;
   for (const auto& [key, value] : AsObject()) keys.push_back(key);
   return keys;
+}
+
+namespace {
+
+void AppendEscaped(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void AppendNumber(double d, std::string& out) {
+  // Integers in the exactly-representable range print as integers so
+  // counters survive a parse → dump → parse round trip digit-for-digit.
+  if (d == std::floor(d) && !std::isinf(d) &&
+      std::abs(d) < 9007199254740992.0 /* 2^53 */) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", d);
+    out += buf;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  out += buf;
+}
+
+void DumpTo(const JsonValue& value, int indent, int depth, std::string& out) {
+  const auto newline = [&](int d) {
+    if (indent <= 0) return;
+    out.push_back('\n');
+    out.append(static_cast<size_t>(indent) * static_cast<size_t>(d), ' ');
+  };
+  switch (value.type()) {
+    case JsonValue::Type::kNull:
+      out += "null";
+      return;
+    case JsonValue::Type::kBool:
+      out += value.AsBool() ? "true" : "false";
+      return;
+    case JsonValue::Type::kNumber:
+      AppendNumber(value.AsDouble(), out);
+      return;
+    case JsonValue::Type::kString:
+      AppendEscaped(value.AsString(), out);
+      return;
+    case JsonValue::Type::kArray: {
+      const auto& arr = value.AsArray();
+      if (arr.empty()) {
+        out += "[]";
+        return;
+      }
+      out.push_back('[');
+      for (size_t i = 0; i < arr.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        newline(depth + 1);
+        DumpTo(arr[i], indent, depth + 1, out);
+      }
+      newline(depth);
+      out.push_back(']');
+      return;
+    }
+    case JsonValue::Type::kObject: {
+      const auto& obj = value.AsObject();
+      if (obj.empty()) {
+        out += "{}";
+        return;
+      }
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, member] : obj) {
+        if (!first) out.push_back(',');
+        first = false;
+        newline(depth + 1);
+        AppendEscaped(key, out);
+        out.push_back(':');
+        if (indent > 0) out.push_back(' ');
+        DumpTo(member, indent, depth + 1, out);
+      }
+      newline(depth);
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string DumpJson(const JsonValue& value, int indent) {
+  std::string out;
+  DumpTo(value, indent, 0, out);
+  return out;
+}
+
+void WriteJsonFile(const std::string& path, const JsonValue& value,
+                   int indent) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("json: cannot write file " + path);
+  out << DumpJson(value, indent) << '\n';
+  out.flush();
+  if (!out) throw std::runtime_error("json: write failed for " + path);
 }
 
 JsonValue ParseJson(std::string_view text) {

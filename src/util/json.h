@@ -83,6 +83,20 @@ class JsonValue {
 /// for code points up to U+FFFF, encoded as UTF-8).
 JsonValue ParseJson(std::string_view text);
 
+/// Serializes a document back to JSON text. `indent` > 0 pretty-prints
+/// with that many spaces per nesting level; 0 emits one compact line.
+/// Integral numbers below 2^53 print without a fractional part (so counter
+/// values round-trip digit-for-digit); strings escape control characters,
+/// quotes, and backslashes. Object keys come out in sorted order (the
+/// underlying map), making output byte-stable for a given document.
+std::string DumpJson(const JsonValue& value, int indent = 0);
+
+/// DumpJson straight to a file (atomically enough for telemetry: truncate
+/// + write + flush). Throws std::runtime_error when the file cannot be
+/// written.
+void WriteJsonFile(const std::string& path, const JsonValue& value,
+                   int indent = 2);
+
 /// Reads and parses a JSON file; throws std::runtime_error when the file
 /// cannot be read.
 JsonValue ParseJsonFile(const std::string& path);

@@ -35,6 +35,19 @@ SerialChannels::~SerialChannels() {
   }
 }
 
+void SerialChannels::SetObservability(obs::MetricsRegistry* registry,
+                                      obs::TraceLog* trace) {
+  trace_ = trace;
+  for (size_t c = 0; c < channels_.size(); ++c) {
+    std::lock_guard<std::mutex> lock(channels_[c]->mutex);
+    channels_[c]->depth =
+        registry == nullptr
+            ? nullptr
+            : registry->GetGauge("pipeline.lane_depth", "lane",
+                                 std::to_string(c));
+  }
+}
+
 void SerialChannels::Post(size_t channel, std::function<void()> task) {
   if (channel >= channels_.size()) {
     throw std::out_of_range("SerialChannels::Post: bad channel index");
@@ -44,6 +57,7 @@ void SerialChannels::Post(size_t channel, std::function<void()> task) {
     std::lock_guard<std::mutex> lock(ch.mutex);
     ch.queue.push_back(std::move(task));
     ++ch.posted;
+    ObsAdd(ch.depth, 1);
   }
   ch.work_cv.notify_one();
 }
@@ -59,6 +73,7 @@ SerialChannels::Marker SerialChannels::Mark() const {
 }
 
 void SerialChannels::WaitUntil(const Marker& marker) {
+  obs::TraceSpan span(trace_, "lane.wait_until");
   for (size_t c = 0; c < channels_.size() && c < marker.posted.size(); ++c) {
     Channel& ch = *channels_[c];
     std::unique_lock<std::mutex> lock(ch.mutex);
@@ -68,6 +83,7 @@ void SerialChannels::WaitUntil(const Marker& marker) {
 }
 
 void SerialChannels::Drain() {
+  obs::TraceSpan span(trace_, "lane.drain");
   for (auto& channel : channels_) {
     std::unique_lock<std::mutex> lock(channel->mutex);
     channel->done_cv.wait(lock, [&] {
@@ -101,6 +117,7 @@ void SerialChannels::WorkerLoop(Channel& channel) {
     {
       std::lock_guard<std::mutex> lock(channel.mutex);
       ++channel.completed;
+      ObsAdd(channel.depth, -1);
     }
     channel.done_cv.notify_all();
   }

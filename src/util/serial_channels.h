@@ -11,6 +11,9 @@
 #include <thread>
 #include <vector>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace mto {
 
 /// A fixed set of single-worker FIFO lanes ("channels"), one per backend
@@ -65,6 +68,12 @@ class SerialChannels {
   /// rethrows the first captured task error, if any.
   void Drain();
 
+  /// Attaches passive telemetry: a per-lane occupancy gauge
+  /// (pipeline.lane_depth{lane=N}, posted minus completed) and join-wait
+  /// spans ("lane.wait_until" / "lane.drain") on the trace. Null pointers
+  /// detach. Call while no tasks are posted (between rounds).
+  void SetObservability(obs::MetricsRegistry* registry, obs::TraceLog* trace);
+
  private:
   struct Channel {
     mutable std::mutex mutex;
@@ -74,6 +83,7 @@ class SerialChannels {
     uint64_t posted = 0;
     uint64_t completed = 0;
     bool shutting_down = false;
+    obs::Gauge* depth = nullptr;  ///< posted - completed; null when obs off
     std::thread worker;
   };
 
@@ -83,6 +93,7 @@ class SerialChannels {
   std::vector<std::unique_ptr<Channel>> channels_;
   std::mutex error_mutex_;
   std::exception_ptr first_error_;
+  obs::TraceLog* trace_ = nullptr;
 };
 
 }  // namespace mto

@@ -226,6 +226,40 @@ TEST(FetchEquivalenceExtrasTest, PacingIsArrivalOrderDependent) {
             ba.SnapshotBackends().ledgers[0].clock_us);
 }
 
+TEST(FetchEquivalenceExtrasTest, ObservabilityOnIsBitIdenticalToOff) {
+  // The observability passivity contract (DESIGN.md §11): metrics,
+  // tracing, periodic snapshots, and the run report draw no randomness,
+  // issue no queries, and mutate no session state, so a fully observed
+  // async crawl is bit-identical — results and per-backend ledgers — to
+  // the unobserved one.
+  Sweep sweep{4, Stepping::kSpeculative, true};
+  const ScenarioConfig config = BaseScenario(sweep);
+  const RunOutput plain = RunWithMode(config, FetchMode::kAsync);
+
+  ScenarioConfig observed_config = config;
+  observed_config.fetch_mode = FetchMode::kAsync;
+  observed_config.observability.metrics = true;
+  observed_config.observability.snapshot_every_units = 2;
+  const std::string trace_path =
+      testing::TempDir() + "/fetch_equivalence_obs.trace.json";
+  const std::string report_path =
+      testing::TempDir() + "/fetch_equivalence_obs.report.json";
+  observed_config.observability.trace_path = trace_path;
+  observed_config.observability.report_path = report_path;
+  CrawlService observed(observed_config);
+  const ServiceResult observed_result = observed.Run();
+
+  ExpectResultsBitIdentical(plain.result, observed_result);
+  ExpectLedgersBitIdentical(plain.ledgers, observed.pool().SnapshotBackends());
+  // Telemetry actually materialized: snapshots were taken and both output
+  // files exist and parse as JSON.
+  EXPECT_FALSE(observed.snapshots().empty());
+  EXPECT_NO_THROW(ParseJsonFile(trace_path));
+  EXPECT_NO_THROW(ParseJsonFile(report_path));
+  std::remove(trace_path.c_str());
+  std::remove(report_path.c_str());
+}
+
 TEST(FetchEquivalenceExtrasTest, AsyncResumesSyncCheckpointBitIdentically) {
   // fetch_mode is excluded from the checkpoint fingerprint (execution
   // shape, like num_threads): a sync victim's checkpoint resumes under

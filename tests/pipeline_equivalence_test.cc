@@ -197,6 +197,32 @@ TEST(PipelineEquivalenceExtrasTest, RendezvousPipelinedMatchesRendezvousSync) {
   ExpectLedgersBitIdentical(sync.ledgers, pipelined.ledgers);
 }
 
+TEST(PipelineEquivalenceExtrasTest, ObservedPipelinedMatchesUnobservedSync) {
+  // Passivity under the deepest execution shape: a depth-2 pipelined crawl
+  // with full observability (metrics, lane-depth gauges, tracing, periodic
+  // snapshots, run report) is bit-identical to the unobserved depth-0 sync
+  // baseline — telemetry on the lanes and in the prefetcher perturbs
+  // nothing (DESIGN.md §11).
+  ScenarioConfig config = BaseScenario(4, Stepping::kSpeculative, true);
+  const RunOutput sync = RunWithDepth(config, 0);
+  ScenarioConfig observed_config = config;
+  observed_config.pipeline_depth = 2;
+  observed_config.observability.metrics = true;
+  observed_config.observability.snapshot_every_units = 2;
+  const std::string trace_path =
+      testing::TempDir() + "/pipeline_equivalence_obs.trace.json";
+  observed_config.observability.trace_path = trace_path;
+  CrawlService observed(observed_config);
+  RunOutput out;
+  out.result = observed.Run();
+  out.ledgers = observed.pool().SnapshotBackends();
+  ExpectResultsBitIdentical(sync.result, out.result);
+  ExpectLedgersBitIdentical(sync.ledgers, out.ledgers);
+  EXPECT_FALSE(observed.snapshots().empty());
+  EXPECT_NO_THROW(ParseJsonFile(trace_path));
+  std::remove(trace_path.c_str());
+}
+
 TEST(PipelineEquivalenceExtrasTest, PipelinedResumesSyncCheckpointBitIdentically) {
   // pipeline_depth is excluded from the checkpoint fingerprint (execution
   // shape): a sync victim's checkpoint resumes under a depth-2 pipeline to
