@@ -13,6 +13,12 @@
 //
 // --json=PATH writes every row as a JSON array for CI artifact tracking.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -20,12 +26,14 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_flags.h"
 #include "src/core/mto_sampler.h"
 #include "src/graph/datasets.h"
 #include "src/net/restricted_interface.h"
+#include "src/obs/exporter.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/runtime/concurrent_interface_cache.h"
@@ -41,11 +49,32 @@ using namespace mto;
 
 constexpr uint64_t kSeed = 0xC0FFEE;
 
-/// Observability attached to a scheduler run: off, counters only, or
-/// counters + span tracing. The ablation section sweeps all three; the
-/// MTO rows use kMetrics so speculation accounting comes from the registry
-/// instead of hand-threaded walker casts.
-enum class ObsMode { kOff, kMetrics, kTrace };
+/// Observability attached to a scheduler run: off, counters only, counters
+/// + span tracing, or counters + a live HTTP exporter being scraped while
+/// the crawl runs. The ablation section sweeps all four; the MTO rows use
+/// kMetrics so speculation accounting comes from the registry instead of
+/// hand-threaded walker casts.
+enum class ObsMode { kOff, kMetrics, kTrace, kExporter };
+
+/// One GET /metrics against the local exporter, response drained and
+/// discarded — the client half of the kExporter ablation.
+void ScrapeOnce(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+    const char req[] =
+        "GET /metrics HTTP/1.1\r\nHost: l\r\nConnection: close\r\n\r\n";
+    (void)!::send(fd, req, sizeof(req) - 1, MSG_NOSIGNAL);
+    char buf[4096];
+    while (::recv(fd, buf, sizeof(buf), 0) > 0) {
+    }
+  }
+  ::close(fd);
+}
 
 struct Row {
   std::string section;
@@ -168,9 +197,41 @@ Row RunScheduler(const SocialNetwork& net, size_t walkers, size_t threads,
   if (registry != nullptr) {
     scheduler.SetObservability(registry.get(), trace.get());
   }
+  // kExporter: the crawl is scraped while it runs — a publisher snapshots
+  // the registry every 10ms and a client loops GET /metrics against the
+  // live server, both inside the timed window. The measured delta over
+  // obs-metrics is the whole cost of serving live introspection.
+  std::unique_ptr<obs::IntrospectionServer> exporter;
+  std::atomic<bool> scrape_stop{false};
+  std::thread publisher;
+  std::thread scraper;
+  if (obs == ObsMode::kExporter) {
+    exporter = std::make_unique<obs::IntrospectionServer>(
+        obs::IntrospectionServer::Options{}, nullptr);
+    obs::MetricsRegistry* reg = registry.get();
+    obs::IntrospectionServer* srv = exporter.get();
+    publisher = std::thread([reg, srv, &scrape_stop] {
+      while (!scrape_stop.load(std::memory_order_relaxed)) {
+        srv->Publish(reg->Snapshot(0), "{}");
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
+    scraper = std::thread([port = exporter->port(), &scrape_stop] {
+      while (!scrape_stop.load(std::memory_order_relaxed)) {
+        ScrapeOnce(port);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
+  }
   const auto start = std::chrono::steady_clock::now();
   scheduler.RunRounds(rounds);
   const auto end = std::chrono::steady_clock::now();
+  if (obs == ObsMode::kExporter) {
+    scrape_stop.store(true, std::memory_order_relaxed);
+    publisher.join();
+    scraper.join();
+    exporter->Stop();
+  }
 
   Row row;
   row.section = latency.count() > 0 ? "latency-bound" : "cpu-bound";
@@ -414,15 +475,18 @@ int main(int argc, char** argv) {
 
   // --- Metrics ablation: the same CPU-bound free-run (the hottest
   // instrumented path — every step goes through the cache's hit counter)
-  // with observability off, counters on, and counters + tracing. The
-  // passivity contract says the positions and costs are bit-identical; the
-  // wall-clock delta is the whole observability overhead, which
-  // ci/compare_perf.py warns about when it exceeds 3%.
+  // with observability off, counters on, counters + tracing, and counters
+  // + a live scraped HTTP exporter. The passivity contract says the
+  // positions and costs are bit-identical; the wall-clock delta is the
+  // whole observability overhead, which ci/compare_perf.py warns about
+  // when it exceeds 3%.
   std::vector<Row> obs_rows;
-  for (ObsMode obs : {ObsMode::kOff, ObsMode::kMetrics, ObsMode::kTrace}) {
-    const char* mode = obs == ObsMode::kOff      ? "obs-off"
-                       : obs == ObsMode::kMetrics ? "obs-metrics"
-                                                  : "obs-trace";
+  for (ObsMode obs : {ObsMode::kOff, ObsMode::kMetrics, ObsMode::kTrace,
+                      ObsMode::kExporter}) {
+    const char* mode = obs == ObsMode::kOff        ? "obs-off"
+                       : obs == ObsMode::kMetrics  ? "obs-metrics"
+                       : obs == ObsMode::kTrace    ? "obs-trace"
+                                                   : "obs-exporter";
     Row row =
         RunScheduler(net, walkers, 8, rounds, kNoLatency, 0, MakeWalker,
                      mode, obs);

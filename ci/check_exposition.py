@@ -1,0 +1,249 @@
+#!/usr/bin/env python3
+"""Validates a Prometheus text-exposition (format 0.0.4) scrape.
+
+CI curls the live /metrics endpoint of an observed crawl and feeds the body
+through this checker, which enforces the format invariants the exporter
+promises:
+
+  * every line is a comment, blank, or a well-formed sample
+  * every sample's family carries a ``# TYPE`` header declared before it
+  * histogram ``_bucket`` series are cumulative (non-decreasing in ``le``),
+    end with ``le="+Inf"``, and the +Inf count equals the ``_count`` sample
+    of the same label set; ``_sum`` is present
+  * ``--require NAME`` asserts that a family is present in the scrape
+
+Usage:
+  check_exposition.py METRICS_FILE [--require NAME]...
+  check_exposition.py --self-test
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)"
+    r"(?: (?P<timestamp>-?\d+))?$"
+)
+TYPE_RE = re.compile(
+    r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) "
+    r"(?P<type>counter|gauge|histogram|summary|untyped)$"
+)
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def parse_value(text):
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def family_of(name, types):
+    """The TYPE-carrying family a sample belongs to."""
+    if name in types:
+        return name
+    for suffix in HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return None
+
+
+def parse_labels(text):
+    if not text:
+        return ()
+    labels = LABEL_RE.findall(text)
+    reassembled = ",".join(f'{k}="{v}"' for k, v in labels)
+    if reassembled != text:
+        raise ValueError(f"malformed label set: {{{text}}}")
+    return tuple(sorted(labels))
+
+
+def check(text):
+    """Returns a list of error strings (empty = valid)."""
+    errors = []
+    types = {}
+    families_seen = set()
+    # (family, labels-minus-le) -> [(le, cumulative_count)]
+    buckets = {}
+    counts = {}
+    sums = set()
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            m = TYPE_RE.match(line)
+            if m:
+                if m.group("name") in types:
+                    errors.append(
+                        f"line {lineno}: duplicate TYPE for {m.group('name')}")
+                types[m.group("name")] = m.group("type")
+            elif not line.startswith("# HELP "):
+                errors.append(f"line {lineno}: unrecognized comment: {line}")
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: malformed sample: {line}")
+            continue
+        name = m.group("name")
+        try:
+            value = parse_value(m.group("value"))
+        except ValueError:
+            errors.append(f"line {lineno}: bad value: {line}")
+            continue
+        try:
+            labels = parse_labels(m.group("labels") or "")
+        except ValueError as e:
+            errors.append(f"line {lineno}: {e}")
+            continue
+        family = family_of(name, types)
+        if family is None:
+            errors.append(f"line {lineno}: sample {name} has no TYPE header")
+            continue
+        families_seen.add(family)
+        if types[family] == "histogram":
+            base_labels = tuple(k_v for k_v in labels if k_v[0] != "le")
+            if name.endswith("_bucket"):
+                le = dict(labels).get("le")
+                if le is None:
+                    errors.append(f"line {lineno}: _bucket without le label")
+                    continue
+                le_value = parse_value(le)
+                buckets.setdefault((family, base_labels), []).append(
+                    (le_value, value, lineno))
+            elif name.endswith("_count"):
+                counts[(family, base_labels)] = (value, lineno)
+            elif name.endswith("_sum"):
+                sums.add((family, base_labels))
+            elif name == family:
+                errors.append(
+                    f"line {lineno}: bare sample for histogram {family}")
+
+    for (family, base_labels), series in buckets.items():
+        ordered = sorted(series, key=lambda item: item[0])
+        prev = -math.inf
+        for le_value, cumulative, lineno in ordered:
+            if cumulative < prev:
+                errors.append(
+                    f"line {lineno}: {family}_bucket le={le_value} count "
+                    f"{cumulative} < preceding bucket {prev} (not cumulative)")
+            prev = cumulative
+        if not ordered or not math.isinf(ordered[-1][0]):
+            errors.append(f'{family}: missing le="+Inf" bucket')
+        else:
+            inf_count = ordered[-1][1]
+            count = counts.get((family, base_labels))
+            if count is None:
+                errors.append(f"{family}: missing _count")
+            elif count[0] != inf_count:
+                errors.append(
+                    f"{family}: le=+Inf bucket {inf_count} != _count "
+                    f"{count[0]}")
+        if (family, base_labels) not in sums:
+            errors.append(f"{family}: missing _sum")
+
+    return errors, families_seen
+
+
+GOOD = """\
+# TYPE scheduler_rounds counter
+scheduler_rounds 120
+# TYPE backend_requests gauge
+backend_requests{backend="us-east"} 7
+backend_requests{backend="eu-west"} 9
+# TYPE fetch_us histogram
+fetch_us_bucket{le="1"} 1
+fetch_us_bucket{le="3"} 2
+fetch_us_bucket{le="+Inf"} 3
+fetch_us_sum 1003
+fetch_us_count 3
+# TYPE fetch_us_p50 gauge
+fetch_us_p50 1.5
+"""
+
+BAD_NOT_CUMULATIVE = """\
+# TYPE fetch_us histogram
+fetch_us_bucket{le="1"} 5
+fetch_us_bucket{le="3"} 2
+fetch_us_bucket{le="+Inf"} 5
+fetch_us_sum 10
+fetch_us_count 5
+"""
+
+BAD_INF_MISMATCH = """\
+# TYPE fetch_us histogram
+fetch_us_bucket{le="1"} 1
+fetch_us_bucket{le="+Inf"} 3
+fetch_us_sum 10
+fetch_us_count 5
+"""
+
+BAD_NO_TYPE = """\
+orphan_metric 1
+"""
+
+BAD_MALFORMED = """\
+# TYPE x gauge
+x{unclosed 1
+"""
+
+
+def self_test():
+    errors, families = check(GOOD)
+    assert not errors, errors
+    assert {"scheduler_rounds", "backend_requests", "fetch_us",
+            "fetch_us_p50"} <= families
+    for bad, needle in [
+        (BAD_NOT_CUMULATIVE, "not cumulative"),
+        (BAD_INF_MISMATCH, "!= _count"),
+        (BAD_NO_TYPE, "no TYPE header"),
+        (BAD_MALFORMED, "malformed"),
+    ]:
+        errors, _ = check(bad)
+        assert any(needle in e for e in errors), (needle, errors)
+    print("check_exposition self-test: OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("metrics_file", nargs="?")
+    parser.add_argument("--require", action="append", default=[],
+                        help="family that must be present in the scrape")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.metrics_file:
+        parser.error("metrics_file required unless --self-test")
+
+    with open(args.metrics_file, encoding="utf-8") as f:
+        text = f.read()
+    errors, families = check(text)
+    for name in args.require:
+        if name not in families:
+            errors.append(f"required family missing from scrape: {name}")
+    if errors:
+        for e in errors:
+            print(f"check_exposition: {e}", file=sys.stderr)
+        return 1
+    print(f"check_exposition: OK ({len(families)} families)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -77,8 +77,9 @@ def check_metrics_overhead(rows, max_overhead):
     """Returns (warnings, compared) for the metrics-ablation section.
 
     Intra-artifact check (this commit only, no baseline needed): for each
-    (walkers, threads, batch) config, the obs-metrics and obs-trace rows
-    must stay within `max_overhead` of the obs-off row's steps_per_sec.
+    (walkers, threads, batch) config, every observed row (obs-metrics,
+    obs-trace, obs-exporter) must stay within `max_overhead` of the
+    obs-off row's steps_per_sec.
     The observability layer's contract is "near-zero overhead"; this keeps
     the claim measured on every commit.
     """

@@ -7,18 +7,28 @@
 // resumed run's estimate, samples, and per-backend ledgers are verified
 // bit-identical to an uninterrupted run of the same scenario.
 //
-// An alternative scenario file can be passed as the only argument (every
-// key is documented in docs/scenario_schema.md):
+// An alternative scenario file can be passed as an argument (every key is
+// documented in docs/scenario_schema.md):
 //
 //   ./build/examples/resilient_crawl examples/scenarios/mto_crawl.json
 //
 // ctest runs it both ways: with the embedded SRW scenario, and with the
 // MTO scenario above — whose mutable overlay rides along in the
 // checkpoint since format v2.
+//
+// --unit-delay-ms=N stretches every Advance unit by N ms of wall clock
+// (results are bit-identical — the delay is outside the crawl) so the live
+// introspection endpoints of an observability.http_port scenario can be
+// scraped mid-run; CI does exactly that against
+// examples/scenarios/observed_crawl.json.
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "src/service/crawl_service.h"
 #include "src/util/table.h"
@@ -50,17 +60,47 @@ int main(int argc, char** argv) {
     ]
   })";
 
-  ScenarioConfig config = argc > 1
-                              ? ScenarioConfig::FromFile(argv[1])
+  std::string scenario_path;
+  size_t unit_delay_ms = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--unit-delay-ms=", 16) == 0) {
+      unit_delay_ms = static_cast<size_t>(std::atoll(argv[i] + 16));
+    } else {
+      scenario_path = argv[i];
+    }
+  }
+  ScenarioConfig config = !scenario_path.empty()
+                              ? ScenarioConfig::FromFile(scenario_path)
                               : ScenarioConfig::FromJsonText(scenario_json);
   const std::string checkpoint_path =
       config.checkpoint.path.empty() ? "/tmp/resilient_crawl.ckpt"
                                      : config.checkpoint.path;
 
+  // Run() with an optional per-unit wall-clock stretch; the delay sits
+  // between units, outside the crawl, so results stay bit-identical.
+  const auto run = [&](CrawlService& service) {
+    if (unit_delay_ms == 0) return service.Run();
+    size_t units = 0;
+    while (service.Advance()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(unit_delay_ms));
+      ++units;
+      if (config.checkpoint.every_units > 0 &&
+          units % config.checkpoint.every_units == 0 && !service.Done()) {
+        service.SaveCheckpoint(checkpoint_path);
+      }
+    }
+    return service.Finish();
+  };
+
   std::cout << "=== Uninterrupted reference run ===\n";
-  ServiceResult reference = CrawlService(config).Run();
+  CrawlService reference_service(config);
+  if (const auto port = reference_service.http_port()) {
+    std::cout << "live introspection: curl http://127.0.0.1:" << *port
+              << "/metrics (also /report, /healthz)\n";
+  }
+  ServiceResult reference = run(reference_service);
   std::cout << "estimate " << reference.final_estimate << " (truth "
-            << CrawlService(config).network().TrueAverageDegree()
+            << reference_service.network().TrueAverageDegree()
             << "), cost " << reference.total_query_cost << " unique queries, "
             << reference.backend_requests << " requests\n\n";
 

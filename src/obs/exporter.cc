@@ -1,0 +1,356 @@
+#include "src/obs/exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace mto {
+namespace obs {
+namespace {
+
+/// Prometheus metric-name charset: [a-zA-Z0-9_:], everything else
+/// (notably the registry's dots) becomes '_'.
+std::string SanitizeName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (!out.empty() && out.front() >= '0' && out.front() <= '9') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+/// Label values escape backslash, quote, and newline per the exposition
+/// format.
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out.push_back(c);
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Splits the registry's baked "base{key=value}" form back into parts.
+struct ParsedName {
+  std::string family;       ///< sanitized base name
+  std::string label;        ///< rendered `key="value"` or empty
+};
+
+ParsedName ParseBakedName(const std::string& name) {
+  ParsedName parsed;
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos || name.back() != '}') {
+    parsed.family = SanitizeName(name);
+    return parsed;
+  }
+  parsed.family = SanitizeName(std::string_view(name).substr(0, brace));
+  const std::string_view inner =
+      std::string_view(name).substr(brace + 1, name.size() - brace - 2);
+  const size_t eq = inner.find('=');
+  if (eq == std::string_view::npos) {
+    parsed.label = std::string(inner);  // malformed; emit verbatim-ish
+    return parsed;
+  }
+  parsed.label = SanitizeName(inner.substr(0, eq)) + "=\"" +
+                 EscapeLabelValue(inner.substr(eq + 1)) + "\"";
+  return parsed;
+}
+
+/// `name{a="b",le="42"}` — joins the optional base label with extras.
+std::string Series(const std::string& family, const std::string& label,
+                   const std::string& extra = {}) {
+  if (label.empty() && extra.empty()) return family;
+  std::string out = family + "{";
+  out += label;
+  if (!label.empty() && !extra.empty()) out += ",";
+  out += extra;
+  out += "}";
+  return out;
+}
+
+class Renderer {
+ public:
+  void Emit(const MetricSnapshot& m) {
+    const ParsedName parsed = ParseBakedName(m.name);
+    switch (m.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        Type(parsed.family, "counter");
+        Line(Series(parsed.family, parsed.label),
+             std::to_string(m.counter));
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        Type(parsed.family, "gauge");
+        Line(Series(parsed.family, parsed.label), std::to_string(m.gauge));
+        break;
+      case MetricSnapshot::Kind::kDoubleGauge:
+        Type(parsed.family, "gauge");
+        Line(Series(parsed.family, parsed.label), FormatDouble(m.dgauge));
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        Histogram(parsed, m.histogram);
+        break;
+    }
+  }
+
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void Type(const std::string& family, const char* type) {
+    if (!typed_.insert(family).second) return;
+    out_ += "# TYPE " + family + " " + type + "\n";
+  }
+
+  void Line(const std::string& series, const std::string& value) {
+    out_ += series + " " + value + "\n";
+  }
+
+  void Histogram(const ParsedName& parsed,
+                 const obs::Histogram::Snapshot& h) {
+    Type(parsed.family, "histogram");
+    uint64_t cumulative = 0;
+    for (const auto& [bound, count] : h.buckets) {
+      cumulative += count;
+      // The top log2 bucket's UINT64_MAX bound IS +Inf for all practical
+      // purposes; folding it into the mandatory +Inf series below keeps
+      // the exposition canonical.
+      if (bound == UINT64_MAX) break;
+      Line(Series(parsed.family + "_bucket", parsed.label,
+                  "le=\"" + std::to_string(bound) + "\""),
+           std::to_string(cumulative));
+    }
+    Line(Series(parsed.family + "_bucket", parsed.label, "le=\"+Inf\""),
+         std::to_string(h.count));
+    Line(Series(parsed.family + "_sum", parsed.label),
+         std::to_string(h.sum));
+    Line(Series(parsed.family + "_count", parsed.label),
+         std::to_string(h.count));
+    // Derived quantiles ride as companion gauges: a Prometheus histogram
+    // family cannot carry quantile samples, and these save dashboards a
+    // histogram_quantile() over log2 buckets.
+    const std::pair<const char*, double> quantiles[] = {
+        {"_p50", h.p50}, {"_p95", h.p95}, {"_p99", h.p99}};
+    for (const auto& [suffix, value] : quantiles) {
+      Type(parsed.family + suffix, "gauge");
+      Line(Series(parsed.family + suffix, parsed.label),
+           FormatDouble(value));
+    }
+  }
+
+  std::string out_;
+  std::set<std::string> typed_;
+};
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+bool SendAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+const char* StatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+  }
+  return "Internal Server Error";
+}
+
+void Respond(int fd, int status, const std::string& content_type,
+             const std::string& body) {
+  std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
+                     StatusReason(status) + "\r\nContent-Type: " +
+                     content_type + "\r\nContent-Length: " +
+                     std::to_string(body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  if (SendAll(fd, head)) SendAll(fd, body);
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const StatsSnapshot& snapshot) {
+  Renderer renderer;
+  for (const MetricSnapshot& m : snapshot.metrics) renderer.Emit(m);
+  return renderer.Take();
+}
+
+IntrospectionServer::IntrospectionServer(const Options& options,
+                                         const ProgressWatchdog* watchdog)
+    : options_(options), watchdog_(watchdog) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("IntrospectionServer: socket() failed");
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const int err = errno;
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(
+        std::string("IntrospectionServer: cannot bind 127.0.0.1:") +
+        std::to_string(options.port) + " (" + std::strerror(err) + ")");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  published_ = std::make_shared<const Published>();
+  server_ = std::thread([this] { AcceptLoop(); });
+}
+
+IntrospectionServer::~IntrospectionServer() { Stop(); }
+
+void IntrospectionServer::Stop() {
+  if (server_.joinable()) {
+    stopping_.store(true, std::memory_order_relaxed);
+    // Unblock the accept: shutdown the listener, then (belt and braces —
+    // shutdown on a listening socket is Linux behavior, not POSIX) poke it
+    // with a throwaway loopback connection.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    const int poke = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (poke >= 0) {
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(port_);
+      ::connect(poke, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+      CloseFd(poke);
+    }
+    server_.join();
+  }
+  CloseFd(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void IntrospectionServer::Publish(StatsSnapshot snapshot,
+                                  std::string report_json) {
+  auto next = std::make_shared<const Published>(
+      Published{std::move(snapshot), std::move(report_json)});
+  std::lock_guard<std::mutex> lock(published_mutex_);
+  published_ = std::move(next);
+}
+
+std::shared_ptr<const IntrospectionServer::Published>
+IntrospectionServer::Current() const {
+  std::lock_guard<std::mutex> lock(published_mutex_);
+  return published_;
+}
+
+void IntrospectionServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      CloseFd(fd);
+      return;
+    }
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // listener gone
+    }
+    HandleConnection(fd);
+    CloseFd(fd);
+  }
+}
+
+void IntrospectionServer::HandleConnection(int fd) {
+  timeval timeout{};
+  timeout.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+
+  std::string request;
+  char buf[2048];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < 8192) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<size_t>(n));
+  }
+  const size_t line_end = request.find("\r\n");
+  if (line_end == std::string::npos) {
+    Respond(fd, 400, "text/plain", "malformed request\n");
+    return;
+  }
+  const std::string line = request.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    Respond(fd, 400, "text/plain", "malformed request line\n");
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+  if (method != "GET" && method != "POST") {
+    Respond(fd, 405, "text/plain", "method not allowed\n");
+    return;
+  }
+
+  if (path == "/metrics") {
+    Respond(fd, 200, "text/plain; version=0.0.4; charset=utf-8",
+            RenderPrometheus(Current()->snapshot));
+  } else if (path == "/report") {
+    Respond(fd, 200, "application/json", Current()->report_json);
+  } else if (path == "/healthz") {
+    const ProgressWatchdog::Verdict verdict =
+        watchdog_ != nullptr ? watchdog_->Evaluate()
+                             : ProgressWatchdog::Verdict{};
+    Respond(fd, verdict.healthy ? 200 : 503, "application/json",
+            DumpJson(verdict.ToJson(), 2) + "\n");
+  } else if (path == "/quitquitquit") {
+    if (!options_.allow_quit) {
+      Respond(fd, 403, "text/plain",
+              "quit disabled (set observability.allow_quit)\n");
+    } else {
+      quit_requested_.store(true, std::memory_order_relaxed);
+      Respond(fd, 200, "text/plain",
+              "stopping: checkpoint-then-stop at the next unit boundary\n");
+    }
+  } else {
+    Respond(fd, 404, "text/plain",
+            "unknown path; try /metrics /report /healthz\n");
+  }
+}
+
+}  // namespace obs
+}  // namespace mto

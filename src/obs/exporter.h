@@ -1,0 +1,112 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/obs/metrics.h"
+#include "src/obs/watchdog.h"
+
+namespace mto {
+namespace obs {
+
+/// Renders a StatsSnapshot as Prometheus text exposition format 0.0.4.
+///
+/// Metric names are sanitized (dots and anything else outside
+/// [a-zA-Z0-9_:] become underscores); the registry's single baked label
+/// ("name{key=value}") is re-emitted as a proper quoted Prometheus label.
+/// Counters and gauges emit one sample under a `# TYPE` header; histograms
+/// emit the full convention — cumulative `_bucket{le="..."}` series with a
+/// closing `le="+Inf"` equal to `_count`, plus `_sum` and `_count` — and
+/// the snapshot-derived p50/p95/p99 quantiles as companion gauges
+/// (`<name>_p50` etc.), since true histogram families cannot carry
+/// quantile samples.
+std::string RenderPrometheus(const StatsSnapshot& snapshot);
+
+/// Dependency-free, blocking-accept HTTP/1.1 introspection server: the
+/// live-stats surface of a CrawlService run (and, by construction, of the
+/// future multi-tenant crawl server — see ROADMAP). Endpoints:
+///
+///   GET /metrics       Prometheus text exposition of the latest snapshot
+///   GET /report        the current run-report JSON
+///   GET /healthz       ProgressWatchdog verdict; 200 healthy / 503 not
+///   GET /quitquitquit  graceful checkpoint-then-stop (403 unless the
+///                      scenario opted in via observability.allow_quit)
+///
+/// **Passivity.** The serving thread never touches live crawl state: it
+/// reads an immutable `Published` image (snapshot + pre-rendered report)
+/// that the crawl driver swaps in atomically at quiescent unit boundaries
+/// via `Publish`, plus the watchdog's atomics. Crawl threads take no locks
+/// for the exporter's benefit, draw no randomness, and mutate nothing on
+/// its behalf — so every bitwise-equivalence guarantee holds with the
+/// server enabled (the equivalence suites pin exporter-on twins).
+///
+/// Connections are served one at a time on the accept thread
+/// (Connection: close, 2s receive timeout); a scrape storm degrades to a
+/// queue in the kernel's accept backlog, never to contention inside the
+/// crawl. Binds 127.0.0.1 only — this is an introspection port, not a
+/// public API.
+class IntrospectionServer {
+ public:
+  struct Options {
+    uint16_t port = 0;       ///< 0 = ephemeral, report via port()
+    bool allow_quit = false; ///< serve /quitquitquit (else 403)
+  };
+
+  /// Binds and starts the accept thread; throws std::runtime_error when
+  /// the socket cannot be bound. `watchdog` may be null (/healthz then
+  /// always reports healthy).
+  IntrospectionServer(const Options& options,
+                      const ProgressWatchdog* watchdog);
+
+  /// Stops the accept thread and closes the socket.
+  ~IntrospectionServer();
+
+  IntrospectionServer(const IntrospectionServer&) = delete;
+  IntrospectionServer& operator=(const IntrospectionServer&) = delete;
+
+  /// The actually bound port (resolves port 0).
+  uint16_t port() const { return port_; }
+
+  /// Swaps in a new published image: the metrics snapshot behind /metrics
+  /// and the rendered report JSON behind /report. Called by the crawl
+  /// driver at quiescent snapshot points; the old image stays alive until
+  /// the last in-flight request drops its reference.
+  void Publish(StatsSnapshot snapshot, std::string report_json);
+
+  /// True once /quitquitquit was accepted. The crawl driver polls this at
+  /// unit boundaries and performs the checkpoint-then-stop itself — the
+  /// serving thread only flips the flag.
+  bool QuitRequested() const {
+    return quit_requested_.load(std::memory_order_relaxed);
+  }
+
+  /// Joins the accept thread (idempotent; the destructor calls it).
+  void Stop();
+
+ private:
+  struct Published {
+    StatsSnapshot snapshot;
+    std::string report_json;
+  };
+
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  std::shared_ptr<const Published> Current() const;
+
+  Options options_;
+  const ProgressWatchdog* watchdog_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> quit_requested_{false};
+  mutable std::mutex published_mutex_;
+  std::shared_ptr<const Published> published_;
+  std::thread server_;
+};
+
+}  // namespace obs
+}  // namespace mto

@@ -15,6 +15,32 @@ uint64_t Histogram::BucketUpperBound(size_t i) {
   return (uint64_t{1} << i) - 1;
 }
 
+double Histogram::Snapshot::Quantile(double q) const {
+  if (count == 0 || buckets.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Continuous rank in [0, count]; the winning bucket is the first whose
+  // cumulative count reaches it (rank 0 degenerates to the first bucket).
+  const double rank = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (const auto& [bound, n] : buckets) {
+    const uint64_t before = cumulative;
+    cumulative += n;
+    if (static_cast<double>(cumulative) >= rank) {
+      // Bucket 0 holds the exact value 0; the bucket with inclusive upper
+      // bound B = 2^k - 1 spans [B/2 + 1, B] by the log2 scheme.
+      if (bound == 0) return 0.0;
+      const double lower = static_cast<double>(bound / 2) + 1.0;
+      const double upper = static_cast<double>(bound);
+      const double fraction =
+          (rank - static_cast<double>(before)) / static_cast<double>(n);
+      const double f = fraction < 0.0 ? 0.0 : fraction;
+      return lower + f * (upper - lower);
+    }
+  }
+  return static_cast<double>(buckets.back().first);
+}
+
 Histogram::Snapshot Histogram::Snap() const {
   Snapshot snap;
   std::array<uint64_t, kBuckets> merged{};
@@ -29,6 +55,9 @@ Histogram::Snapshot Histogram::Snap() const {
     snap.count += merged[i];
     snap.buckets.emplace_back(BucketUpperBound(i), merged[i]);
   }
+  snap.p50 = snap.Quantile(0.50);
+  snap.p95 = snap.Quantile(0.95);
+  snap.p99 = snap.Quantile(0.99);
   return snap;
 }
 
@@ -77,6 +106,16 @@ Gauge* MetricsRegistry::GetGauge(std::string_view name,
   return GetGauge(LabeledName(name, label_key, label_value));
 }
 
+DoubleGauge* MetricsRegistry::GetDoubleGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = dgauges_.find(name);
+  if (it == dgauges_.end()) {
+    it = dgauges_.emplace(std::string(name), std::make_unique<DoubleGauge>())
+             .first;
+  }
+  return it->second.get();
+}
+
 Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = histograms_.find(name);
@@ -105,6 +144,12 @@ int64_t MetricsRegistry::GaugeValue(std::string_view name) const {
   return it == gauges_.end() ? 0 : it->second->Value();
 }
 
+double MetricsRegistry::DoubleGaugeValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = dgauges_.find(name);
+  return it == dgauges_.end() ? 0.0 : it->second->Value();
+}
+
 StatsSnapshot MetricsRegistry::Snapshot(uint64_t unit) const {
   StatsSnapshot snap;
   snap.unit = unit;
@@ -123,6 +168,13 @@ StatsSnapshot MetricsRegistry::Snapshot(uint64_t unit) const {
     m.name = name;
     m.kind = MetricSnapshot::Kind::kGauge;
     m.gauge = gauge->Value();
+    snap.metrics.push_back(std::move(m));
+  }
+  for (const auto& [name, gauge] : dgauges_) {
+    MetricSnapshot m;
+    m.name = name;
+    m.kind = MetricSnapshot::Kind::kDoubleGauge;
+    m.dgauge = gauge->Value();
     snap.metrics.push_back(std::move(m));
   }
   for (const auto& [name, histogram] : histograms_) {
@@ -152,12 +204,18 @@ JsonValue StatsSnapshot::ToJson() const {
         gauges.MutableObject().emplace(
             m.name, JsonValue(static_cast<double>(m.gauge)));
         break;
+      case MetricSnapshot::Kind::kDoubleGauge:
+        gauges.MutableObject().emplace(m.name, JsonValue(m.dgauge));
+        break;
       case MetricSnapshot::Kind::kHistogram: {
         JsonValue h = JsonValue::Object();
         h.MutableObject().emplace(
             "count", JsonValue(static_cast<double>(m.histogram.count)));
         h.MutableObject().emplace(
             "sum", JsonValue(static_cast<double>(m.histogram.sum)));
+        h.MutableObject().emplace("p50", JsonValue(m.histogram.p50));
+        h.MutableObject().emplace("p95", JsonValue(m.histogram.p95));
+        h.MutableObject().emplace("p99", JsonValue(m.histogram.p99));
         JsonValue buckets = JsonValue::Object();
         for (const auto& [bound, count] : m.histogram.buckets) {
           buckets.MutableObject().emplace(

@@ -69,6 +69,19 @@ class Gauge {
   std::atomic<int64_t> value_{0};
 };
 
+/// Point-in-time floating-point value — estimator-quality telemetry
+/// (Geweke z, effective sample size, CI half-width) where integer gauges
+/// would throw away exactly the precision a dashboard needs. Same
+/// relaxed-atomic discipline as Gauge.
+class DoubleGauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
 /// Fixed-log2-bucket histogram for latencies and sizes: value v lands in
 /// bucket bit_width(v), i.e. bucket upper bounds are 0, 1, 3, 7, 15, ...
 /// (2^k - 1). 65 buckets cover all of uint64 with zero configuration and a
@@ -103,6 +116,19 @@ class Histogram {
     uint64_t sum = 0;
     /// (inclusive upper bound, count), only buckets with count > 0.
     std::vector<std::pair<uint64_t, uint64_t>> buckets;
+    /// Quantiles derived from the log2 buckets at snapshot time (linear
+    /// interpolation inside the winning bucket, so resolution is one part
+    /// in two — good enough to tell a 100us save from a 100ms one). 0 when
+    /// the histogram is empty.
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+
+    /// The q-quantile (q in [0, 1]) of the recorded distribution as seen
+    /// through the buckets: walks the cumulative counts to the bucket
+    /// containing rank q*count and interpolates between the bucket's
+    /// inclusive bounds. Returns 0 for an empty snapshot.
+    double Quantile(double q) const;
   };
   Snapshot Snap() const;
 
@@ -116,11 +142,12 @@ class Histogram {
 
 /// One metric as captured by MetricsRegistry::Snapshot().
 struct MetricSnapshot {
-  enum class Kind { kCounter, kGauge, kHistogram };
+  enum class Kind { kCounter, kGauge, kDoubleGauge, kHistogram };
   std::string name;  ///< full name incl. label, e.g. "backend.requests{backend=key-0}"
   Kind kind = Kind::kCounter;
   uint64_t counter = 0;
   int64_t gauge = 0;
+  double dgauge = 0.0;
   Histogram::Snapshot histogram;
 };
 
@@ -151,6 +178,7 @@ class MetricsRegistry {
   Gauge* GetGauge(std::string_view name);
   Gauge* GetGauge(std::string_view name, std::string_view label_key,
                   std::string_view label_value);
+  DoubleGauge* GetDoubleGauge(std::string_view name);
   Histogram* GetHistogram(std::string_view name);
   Histogram* GetHistogram(std::string_view name, std::string_view label_key,
                           std::string_view label_value);
@@ -159,6 +187,8 @@ class MetricsRegistry {
   uint64_t CounterValue(std::string_view name) const;
   /// Gauge value by full name, 0 when absent.
   int64_t GaugeValue(std::string_view name) const;
+  /// Double-gauge value by full name, 0 when absent.
+  double DoubleGaugeValue(std::string_view name) const;
 
   StatsSnapshot Snapshot(uint64_t unit = 0) const;
 
@@ -171,6 +201,7 @@ class MetricsRegistry {
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<DoubleGauge>, std::less<>> dgauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 

@@ -1,0 +1,135 @@
+#include "src/obs/watchdog.h"
+
+#include <string_view>
+
+namespace mto {
+namespace obs {
+namespace {
+
+constexpr std::string_view kLaneDepth = "pipeline.lane_depth{";
+constexpr std::string_view kLanePeak = "pipeline.lane_depth_peak{";
+constexpr std::string_view kBudgetRemaining = "backend.budget_remaining{";
+constexpr std::string_view kBackendRequests = "backend.requests{";
+
+bool StartsWith(const std::string& name, std::string_view prefix) {
+  return name.size() >= prefix.size() &&
+         std::string_view(name).substr(0, prefix.size()) == prefix;
+}
+
+/// The "lane=N" / "backend=X" suffix of a baked labeled name.
+std::string LabelOf(const std::string& name, std::string_view prefix) {
+  std::string label = name.substr(prefix.size());
+  if (!label.empty() && label.back() == '}') label.pop_back();
+  return label;
+}
+
+}  // namespace
+
+JsonValue ProgressWatchdog::Verdict::ToJson() const {
+  JsonValue root = JsonValue::Object();
+  auto& obj = root.MutableObject();
+  obj.emplace("healthy", JsonValue(healthy));
+  obj.emplace("done", JsonValue(done));
+  obj.emplace("ms_since_progress",
+              JsonValue(static_cast<double>(ms_since_progress)));
+  JsonValue list = JsonValue::Array();
+  for (const std::string& reason : reasons) {
+    list.MutableArray().push_back(JsonValue(reason));
+  }
+  obj.emplace("reasons", std::move(list));
+  return root;
+}
+
+ProgressWatchdog::ProgressWatchdog(Options options)
+    : options_(options), epoch_(std::chrono::steady_clock::now()) {
+  last_progress_ms_.store(NowMs(), std::memory_order_relaxed);
+}
+
+uint64_t ProgressWatchdog::NowMs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void ProgressWatchdog::NoteUnitComplete() {
+  last_progress_ms_.store(NowMs(), std::memory_order_relaxed);
+}
+
+void ProgressWatchdog::NoteDone() {
+  done_.store(true, std::memory_order_relaxed);
+}
+
+void ProgressWatchdog::ObserveSnapshot(const StatsSnapshot& snapshot) {
+  // One pass over the gauges: lane depth/peak pairs and budget totals.
+  std::map<std::string, int64_t> depths;
+  std::map<std::string, int64_t> peaks;
+  size_t backends = 0;
+  size_t budgeted = 0;
+  size_t spent = 0;
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    if (m.kind != MetricSnapshot::Kind::kGauge) continue;
+    if (StartsWith(m.name, kLaneDepth)) {
+      depths[LabelOf(m.name, kLaneDepth)] = m.gauge;
+    } else if (StartsWith(m.name, kLanePeak)) {
+      peaks[LabelOf(m.name, kLanePeak)] = m.gauge;
+    } else if (StartsWith(m.name, kBudgetRemaining)) {
+      ++budgeted;
+      if (m.gauge == 0) ++spent;
+    } else if (StartsWith(m.name, kBackendRequests)) {
+      ++backends;
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  starved_lanes_.clear();
+  for (const auto& [lane, depth] : depths) {
+    LaneStreak& streak = lanes_[lane];
+    const auto peak_it = peaks.find(lane);
+    const int64_t peak = peak_it == peaks.end() ? 0 : peak_it->second;
+    // Pinned: occupied, at the high-watermark, and not freshly grown —
+    // a lane whose peak just rose is making progress, not starving.
+    const bool pinned = depth > 0 && depth == peak &&
+                        streak.last_depth == depth;
+    streak.pinned = pinned ? streak.pinned + 1 : 0;
+    streak.last_depth = depth;
+    if (options_.starved_snapshots > 0 &&
+        streak.pinned >= options_.starved_snapshots) {
+      starved_lanes_.push_back(lane);
+    }
+  }
+  // All backends budgeted and every budget at zero: the crawl cannot pay
+  // for another query. (With a partially budgeted fleet the unmetered
+  // backends keep it alive, so the rule stays quiet.)
+  budgets_spent_ = budgeted > 0 && budgeted == backends && spent == budgeted;
+}
+
+ProgressWatchdog::Verdict ProgressWatchdog::Evaluate() const {
+  Verdict verdict;
+  verdict.done = done_.load(std::memory_order_relaxed);
+  const uint64_t now = NowMs();
+  const uint64_t last = last_progress_ms_.load(std::memory_order_relaxed);
+  verdict.ms_since_progress = now > last ? now - last : 0;
+  if (!verdict.done) {
+    if (options_.stall_timeout_ms > 0 &&
+        verdict.ms_since_progress > options_.stall_timeout_ms) {
+      verdict.reasons.push_back(
+          "stalled: no unit completed for " +
+          std::to_string(verdict.ms_since_progress) + "ms (deadline " +
+          std::to_string(options_.stall_timeout_ms) + "ms)");
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::string& lane : starved_lanes_) {
+      verdict.reasons.push_back("lane starved: " + lane +
+                                " pinned at max depth");
+    }
+    if (budgets_spent_) {
+      verdict.reasons.push_back("all backend budgets spent");
+    }
+  }
+  verdict.healthy = verdict.reasons.empty();
+  return verdict;
+}
+
+}  // namespace obs
+}  // namespace mto

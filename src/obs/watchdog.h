@@ -1,0 +1,100 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/util/json.h"
+
+namespace mto {
+namespace obs {
+
+/// Liveness judge for a long-running crawl, backing the introspection
+/// server's /healthz endpoint. Three independent rules, each answering a
+/// question an operator would otherwise tail logs for:
+///
+///  1. **Stall** — no Advance unit completed within `stall_timeout_ms` of
+///     wall clock (0 disables the rule). The crawl driver arms the clock at
+///     start and re-arms it with one relaxed atomic store per unit
+///     boundary; a crawl wedged inside a unit (deadlocked lane, livelocked
+///     retry loop) trips it.
+///  2. **Lane starvation** — a SerialChannels backend lane whose depth
+///     gauge sits pinned at its high-watermark (and above zero) across
+///     `starved_snapshots` consecutive StatsSnapshots. A healthy pipelined
+///     lane oscillates as the lag-k join drains it; one that only ever
+///     shows its peak is backed up behind a slow or dead backend.
+///  3. **Budget exhaustion** — every backend carries a budget and every
+///     `backend.budget_remaining` gauge reads zero: the crawl can no
+///     longer pay for a single query, so it will never finish on its own.
+///
+/// Threading mirrors the rest of src/obs: the crawl driver calls
+/// NoteUnitComplete/NoteDone (atomics only, no locks) and ObserveSnapshot
+/// at quiescent snapshot points (small mutex shared only with Evaluate);
+/// the exporter thread calls Evaluate. Nothing here touches RNG, sessions,
+/// or queries — the passivity contract (DESIGN.md §11) holds.
+class ProgressWatchdog {
+ public:
+  struct Options {
+    /// Unhealthy when no unit completes for this long (wall clock);
+    /// 0 disables the stall rule.
+    uint64_t stall_timeout_ms = 0;
+    /// Consecutive snapshots a lane must sit pinned at max before the
+    /// starvation rule fires; 0 disables the rule.
+    size_t starved_snapshots = 3;
+  };
+
+  /// The verdict served at /healthz.
+  struct Verdict {
+    bool healthy = true;
+    bool done = false;  ///< the run finished; stall rule disarmed
+    uint64_t ms_since_progress = 0;
+    std::vector<std::string> reasons;  ///< empty when healthy
+
+    /// {"healthy": b, "done": b, "ms_since_progress": n, "reasons": [...]}
+    JsonValue ToJson() const;
+  };
+
+  explicit ProgressWatchdog(Options options);
+
+  /// Re-arms the stall clock (crawl driver, one relaxed store). Called at
+  /// start and after every completed Advance unit.
+  void NoteUnitComplete();
+
+  /// Marks the run finished: the stall rule stops firing (a completed
+  /// crawl is healthy forever).
+  void NoteDone();
+
+  /// Feeds one StatsSnapshot (at publish time, from the crawl driver):
+  /// updates per-lane pinned streaks from pipeline.lane_depth /
+  /// pipeline.lane_depth_peak gauges and the budget-exhaustion state from
+  /// backend.budget_remaining / backend.requests gauges.
+  void ObserveSnapshot(const StatsSnapshot& snapshot);
+
+  /// Evaluates all rules now (any thread).
+  Verdict Evaluate() const;
+
+ private:
+  uint64_t NowMs() const;
+
+  Options options_;
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<uint64_t> last_progress_ms_{0};
+  std::atomic<bool> done_{false};
+
+  struct LaneStreak {
+    int64_t last_depth = -1;
+    size_t pinned = 0;  ///< consecutive snapshots at peak with depth > 0
+  };
+  mutable std::mutex mutex_;
+  std::map<std::string, LaneStreak> lanes_;
+  std::vector<std::string> starved_lanes_;
+  bool budgets_spent_ = false;
+};
+
+}  // namespace obs
+}  // namespace mto

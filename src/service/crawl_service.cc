@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "src/graph/datasets.h"
+#include "src/obs/convergence.h"
 
 namespace mto {
 namespace {
@@ -80,6 +81,20 @@ CrawlService::CrawlService(const ScenarioConfig& config)
     scheduler_->SetObservability(registry_.get(), trace_log_.get());
     pipeline_->SetObservability(registry_.get(), trace_log_.get());
   }
+  if (config_.observability.http_port.has_value()) {
+    obs::ProgressWatchdog::Options wd;
+    wd.stall_timeout_ms = config_.observability.watchdog_stall_ms;
+    wd.starved_snapshots = config_.observability.watchdog_starved_snapshots;
+    watchdog_ = std::make_unique<obs::ProgressWatchdog>(wd);
+    obs::IntrospectionServer::Options server;
+    server.port = *config_.observability.http_port;
+    server.allow_quit = config_.observability.allow_quit;
+    exporter_ =
+        std::make_unique<obs::IntrospectionServer>(server, watchdog_.get());
+    // Seed the endpoints before the first unit so an early scrape sees a
+    // coherent (if empty) image rather than a 404 or garbage.
+    exporter_->Publish(registry_->Snapshot(0), DumpJson(RunReport(), 2));
+  }
 }
 
 CrawlService::~CrawlService() = default;
@@ -126,7 +141,35 @@ void CrawlService::TakeSnapshot() {
   // fetch and hit paths never touch the registry.
   pool_->PublishMetrics(*registry_);
   session_->PublishMetrics();
+  // Estimator-quality bridge (src/obs/convergence): pure functions of the
+  // already-kept estimation streams, published as double gauges.
+  {
+    std::vector<double> values;
+    std::vector<double> weights;
+    values.reserve(samples_stream_.size());
+    weights.reserve(samples_stream_.size());
+    for (const auto& record : samples_stream_) {
+      values.push_back(record.value);
+      weights.push_back(record.weight);
+    }
+    obs::PublishEstimateTelemetry(
+        *registry_,
+        obs::ComputeEstimateTelemetry(diagnostics_stream_, values, weights));
+  }
   snapshots_.push_back(registry_->Snapshot(units_done_));
+  if (watchdog_ != nullptr) watchdog_->ObserveSnapshot(snapshots_.back());
+  // Live surfaces: the exporter's published image and the incremental
+  // last-known-good report on disk (atomic tmp+rename, so a kill mid-run
+  // always leaves a parseable report behind).
+  if (exporter_ != nullptr || !config_.observability.report_path.empty()) {
+    const JsonValue report = RunReport();
+    if (exporter_ != nullptr) {
+      exporter_->Publish(snapshots_.back(), DumpJson(report, 2));
+    }
+    if (!config_.observability.report_path.empty()) {
+      WriteJsonFile(config_.observability.report_path, report);
+    }
+  }
 }
 
 bool CrawlService::Advance() {
@@ -157,6 +200,7 @@ bool CrawlService::Advance() {
     CollectionRound();
   }
   ++units_done_;
+  if (watchdog_ != nullptr) watchdog_->NoteUnitComplete();
   if (config_.observability.snapshot_every_units > 0 &&
       units_done_ % config_.observability.snapshot_every_units == 0) {
     TakeSnapshot();
@@ -171,6 +215,15 @@ ServiceResult CrawlService::Run() {
     if (config_.checkpoint.every_units > 0 &&
         units % config_.checkpoint.every_units == 0 && !Done()) {
       SaveCheckpoint(config_.checkpoint.path);
+    }
+    // Graceful stop: /quitquitquit only flips a flag on the serving
+    // thread; the driver honors it here, at a unit boundary, where a
+    // checkpoint is valid — so a resumed run continues bit-identically.
+    if (exporter_ != nullptr && exporter_->QuitRequested() && !Done()) {
+      if (!config_.checkpoint.path.empty()) {
+        SaveCheckpoint(config_.checkpoint.path);
+      }
+      break;
     }
   }
   return Finish();
@@ -199,13 +252,12 @@ ServiceResult CrawlService::Finish() {
     result_.simulated_time_us = pool_->SimulatedTimeUs();
     result_.backend_stats = pool_->AllBackendStats();
     finished_ = true;
-    // Telemetry epilogue: one final snapshot, then the configured files.
-    // Writing happens after the result surface is frozen, so a report
-    // failure cannot corrupt a crawl that already succeeded.
+    // Telemetry epilogue: one final snapshot — which also publishes the
+    // final report to the exporter and (atomically) to disk — then the
+    // trace file. Writing happens after the result surface is frozen, so
+    // a report failure cannot corrupt a crawl that already succeeded.
+    if (watchdog_ != nullptr) watchdog_->NoteDone();
     TakeSnapshot();
-    if (!config_.observability.report_path.empty()) {
-      WriteJsonFile(config_.observability.report_path, RunReport());
-    }
     if (trace_log_ != nullptr && !config_.observability.trace_path.empty()) {
       trace_log_->WriteChromeTrace(config_.observability.trace_path);
     }
@@ -232,25 +284,77 @@ JsonValue CrawlService::RunReport() const {
   sc["fingerprint"] = JsonValue(static_cast<double>(config_.Fingerprint()));
   root["scenario"] = std::move(scenario);
 
+  // The result section is always present. Once Finish() froze the result
+  // surface it echoes that; mid-run (the incremental report behind
+  // /report and report_path) it carries the current partial values, with
+  // the running self-normalized mean standing in for the final estimate.
   JsonValue result = JsonValue::Object();
   auto& res = result.MutableObject();
-  res["final_estimate"] = JsonValue(result_.final_estimate);
-  res["burn_in_converged"] = JsonValue(result_.burn_in_converged);
-  res["burn_in_rounds"] =
-      JsonValue(static_cast<double>(result_.burn_in_rounds));
-  res["total_rounds"] = JsonValue(static_cast<double>(result_.total_rounds));
-  res["total_steps"] = JsonValue(static_cast<double>(result_.total_steps));
-  res["num_samples"] =
-      JsonValue(static_cast<double>(result_.samples.size()));
-  res["total_query_cost"] =
-      JsonValue(static_cast<double>(result_.total_query_cost));
-  res["backend_requests"] =
-      JsonValue(static_cast<double>(result_.backend_requests));
-  res["failed_fetches"] =
-      JsonValue(static_cast<double>(result_.failed_fetches));
-  res["simulated_time_us"] =
-      JsonValue(static_cast<double>(result_.simulated_time_us));
+  if (finished_) {
+    res["final_estimate"] = JsonValue(result_.final_estimate);
+    res["burn_in_converged"] = JsonValue(result_.burn_in_converged);
+    res["burn_in_rounds"] =
+        JsonValue(static_cast<double>(result_.burn_in_rounds));
+    res["total_rounds"] =
+        JsonValue(static_cast<double>(result_.total_rounds));
+    res["total_steps"] = JsonValue(static_cast<double>(result_.total_steps));
+    res["num_samples"] =
+        JsonValue(static_cast<double>(result_.samples.size()));
+    res["total_query_cost"] =
+        JsonValue(static_cast<double>(result_.total_query_cost));
+    res["backend_requests"] =
+        JsonValue(static_cast<double>(result_.backend_requests));
+    res["failed_fetches"] =
+        JsonValue(static_cast<double>(result_.failed_fetches));
+    res["simulated_time_us"] =
+        JsonValue(static_cast<double>(result_.simulated_time_us));
+  } else {
+    double weight_sum = 0.0;
+    double weighted_sum = 0.0;
+    for (const auto& record : samples_stream_) {
+      weight_sum += record.weight;
+      weighted_sum += record.value * record.weight;
+    }
+    res["final_estimate"] =
+        JsonValue(weight_sum > 0.0 ? weighted_sum / weight_sum : 0.0);
+    res["burn_in_converged"] = JsonValue(burn_in_converged_);
+    res["burn_in_rounds"] =
+        JsonValue(static_cast<double>(burn_in_rounds_));
+    res["total_rounds"] = JsonValue(static_cast<double>(rounds_));
+    res["total_steps"] =
+        JsonValue(static_cast<double>(scheduler_->total_steps()));
+    res["num_samples"] =
+        JsonValue(static_cast<double>(samples_stream_.size()));
+    res["total_query_cost"] =
+        JsonValue(static_cast<double>(session_->QueryCost()));
+    res["backend_requests"] =
+        JsonValue(static_cast<double>(session_->BackendRequests()));
+    res["failed_fetches"] =
+        JsonValue(static_cast<double>(pool_->FailedFetches()));
+    res["simulated_time_us"] =
+        JsonValue(static_cast<double>(pool_->SimulatedTimeUs()));
+  }
   root["result"] = std::move(result);
+
+  JsonValue status = JsonValue::Object();
+  auto& st = status.MutableObject();
+  st["phase"] = JsonValue(std::string(
+      phase_ == CrawlPhase::kBurnIn
+          ? "burn_in"
+          : phase_ == CrawlPhase::kSampling ? "sampling" : "done"));
+  st["finished"] = JsonValue(finished_);
+  st["units"] = JsonValue(static_cast<double>(units_done_));
+  root["status"] = std::move(status);
+
+  // Live-introspection coordinates: how to reach this run while it runs.
+  // CI's scrape step discovers the ephemeral port from here.
+  JsonValue live = JsonValue::Object();
+  auto& lv = live.MutableObject();
+  lv["enabled"] = JsonValue(exporter_ != nullptr);
+  if (exporter_ != nullptr) {
+    lv["http_port"] = JsonValue(static_cast<double>(exporter_->port()));
+  }
+  root["live"] = std::move(live);
 
   JsonValue snaps = JsonValue::Array();
   for (const obs::StatsSnapshot& snapshot : snapshots_) {
@@ -266,6 +370,11 @@ JsonValue CrawlService::RunReport() const {
   root["trace"] = std::move(trace);
 
   return report;
+}
+
+std::optional<uint16_t> CrawlService::http_port() const {
+  if (exporter_ == nullptr) return std::nullopt;
+  return exporter_->port();
 }
 
 void CrawlService::SaveCheckpoint(const std::string& path) {

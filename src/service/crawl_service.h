@@ -2,12 +2,15 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/experiments/harness.h"
+#include "src/obs/exporter.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/obs/watchdog.h"
 #include "src/runtime/concurrent_interface_cache.h"
 #include "src/runtime/crawl_scheduler.h"
 #include "src/runtime/estimation_pipeline.h"
@@ -104,15 +107,29 @@ class CrawlService {
   /// zero (telemetry is not checkpoint state — only results are).
   const std::vector<obs::StatsSnapshot>& snapshots() const { return snapshots_; }
 
-  /// The final run report as JSON: scenario echo, result surface, every
-  /// obs::StatsSnapshot, and trace-drop accounting. Valid after Finish().
+  /// The run report as JSON: scenario echo, result surface, run status,
+  /// every obs::StatsSnapshot, live-introspection coordinates, and
+  /// trace-drop accounting. Always valid — mid-run the result section
+  /// carries the current partial values (final_estimate excepted, which
+  /// settles at Finish()); "status.finished" says which you are reading.
   JsonValue RunReport() const;
+
+  /// The live introspection server's bound port, when the scenario enabled
+  /// observability.http_port (resolves port 0 to the ephemeral pick).
+  std::optional<uint16_t> http_port() const;
+
+  /// The introspection server / progress watchdog; null unless the
+  /// scenario set observability.http_port.
+  obs::IntrospectionServer* exporter() { return exporter_.get(); }
+  obs::ProgressWatchdog* watchdog() { return watchdog_.get(); }
 
  private:
   void EndBurnIn();
   void CollectionRound();
   /// Captures a obs::StatsSnapshot tagged with the current unit count,
-  /// publishing the pool ledgers into the registry first (pull model).
+  /// publishing the pool ledgers and estimator-quality telemetry into the
+  /// registry first (pull model), then feeds the watchdog, the live
+  /// exporter, and the incremental on-disk report.
   void TakeSnapshot();
 
   ScenarioConfig config_;
@@ -124,6 +141,10 @@ class CrawlService {
   // trace log must be destroyed last (reverse declaration order).
   std::unique_ptr<obs::MetricsRegistry> registry_;
   std::unique_ptr<obs::TraceLog> trace_log_;
+  // Watchdog before exporter: the exporter's serving thread reads the
+  // watchdog, so it must be torn down first (reverse declaration order).
+  std::unique_ptr<obs::ProgressWatchdog> watchdog_;
+  std::unique_ptr<obs::IntrospectionServer> exporter_;
 
   std::unique_ptr<BackendPool> pool_;
   std::unique_ptr<ConcurrentInterfaceCache> session_;

@@ -232,7 +232,9 @@ ScenarioConfig ScenarioConfig::FromJson(const JsonValue& root) {
   if (root.Has("observability")) {
     const JsonValue& obs = root.At("observability");
     CheckKeys(obs, "observability",
-              {"metrics", "trace_path", "report_path", "snapshot_every_units"});
+              {"metrics", "trace_path", "report_path", "snapshot_every_units",
+               "http_port", "allow_quit", "watchdog_stall_ms",
+               "watchdog_starved_snapshots"});
     if (obs.Has("metrics")) {
       config.observability.metrics = obs.At("metrics").AsBool();
     }
@@ -245,6 +247,25 @@ ScenarioConfig ScenarioConfig::FromJson(const JsonValue& root) {
     if (obs.Has("snapshot_every_units")) {
       config.observability.snapshot_every_units =
           obs.At("snapshot_every_units").AsUint();
+    }
+    if (obs.Has("http_port")) {
+      const uint64_t port = obs.At("http_port").AsUint();
+      if (port > 65535) {
+        throw std::invalid_argument(
+            "ScenarioConfig: observability.http_port must be <= 65535");
+      }
+      config.observability.http_port = static_cast<uint16_t>(port);
+    }
+    if (obs.Has("allow_quit")) {
+      config.observability.allow_quit = obs.At("allow_quit").AsBool();
+    }
+    if (obs.Has("watchdog_stall_ms")) {
+      config.observability.watchdog_stall_ms =
+          obs.At("watchdog_stall_ms").AsUint();
+    }
+    if (obs.Has("watchdog_starved_snapshots")) {
+      config.observability.watchdog_starved_snapshots =
+          obs.At("watchdog_starved_snapshots").AsUint();
     }
   }
   config.Validate();
@@ -291,6 +312,16 @@ void ScenarioConfig::Validate() const {
     throw std::invalid_argument(
         "ScenarioConfig: observability.report_path requires "
         "observability.metrics");
+  }
+  if (observability.http_port.has_value() && !observability.metrics) {
+    throw std::invalid_argument(
+        "ScenarioConfig: observability.http_port requires "
+        "observability.metrics");
+  }
+  if (observability.allow_quit && !observability.http_port.has_value()) {
+    throw std::invalid_argument(
+        "ScenarioConfig: observability.allow_quit requires "
+        "observability.http_port");
   }
 }
 

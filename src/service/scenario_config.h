@@ -31,6 +31,21 @@ struct ObservabilityConfig {
   /// Take a StatsSnapshot every N Advance() units (kept in memory, emitted
   /// in the run report); 0 = final snapshot only.
   size_t snapshot_every_units = 0;
+  /// Serve live introspection over HTTP on 127.0.0.1 (obs::
+  /// IntrospectionServer: /metrics, /report, /healthz, /quitquitquit).
+  /// Present = enabled (requires metrics); 0 = pick an ephemeral port,
+  /// reported in the run report's "live" section.
+  std::optional<uint16_t> http_port;
+  /// Honor GET /quitquitquit (graceful checkpoint-then-stop). Off by
+  /// default: a scrape should never be able to stop a crawl by accident.
+  bool allow_quit = false;
+  /// Watchdog stall rule: unhealthy when no Advance unit completes for
+  /// this many wall-clock ms; 0 (default) disables the rule, leaving only
+  /// the snapshot-driven lane-starvation and budget-exhaustion rules.
+  uint64_t watchdog_stall_ms = 0;
+  /// Consecutive snapshots a pipeline lane must sit pinned at its depth
+  /// high-watermark before /healthz reports starvation; 0 disables.
+  size_t watchdog_starved_snapshots = 3;
 };
 
 /// Complete description of a crawl-service run, loadable from JSON: the
@@ -67,7 +82,10 @@ struct ObservabilityConfig {
 ///   "checkpoint": {"path": "crawl.ckpt", "every_units": 4},
 ///   "observability": {"metrics": true, "snapshot_every_units": 2,
 ///                     "trace_path": "run.trace.json",
-///                     "report_path": "run.report.json"}
+///                     "report_path": "run.report.json",
+///                     "http_port": 0, "allow_quit": false,
+///                     "watchdog_stall_ms": 0,
+///                     "watchdog_starved_snapshots": 3}
 /// }
 /// ```
 struct ScenarioConfig {

@@ -382,11 +382,22 @@ std::string DumpJson(const JsonValue& value, int indent) {
 
 void WriteJsonFile(const std::string& path, const JsonValue& value,
                    int indent) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("json: cannot write file " + path);
-  out << DumpJson(value, indent) << '\n';
-  out.flush();
-  if (!out) throw std::runtime_error("json: write failed for " + path);
+  // Write-to-temp then rename: a reader (or a crash) never sees a
+  // half-written document, only the previous complete one or the new
+  // complete one. rename(2) is atomic within a filesystem, and telemetry
+  // temp files live next to their targets.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("json: cannot write file " + tmp);
+    out << DumpJson(value, indent) << '\n';
+    out.flush();
+    if (!out) throw std::runtime_error("json: write failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("json: cannot rename " + tmp + " to " + path);
+  }
 }
 
 JsonValue ParseJson(std::string_view text) {

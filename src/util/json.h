@@ -91,9 +91,10 @@ JsonValue ParseJson(std::string_view text);
 /// underlying map), making output byte-stable for a given document.
 std::string DumpJson(const JsonValue& value, int indent = 0);
 
-/// DumpJson straight to a file (atomically enough for telemetry: truncate
-/// + write + flush). Throws std::runtime_error when the file cannot be
-/// written.
+/// DumpJson straight to a file, atomically: the document is written to
+/// "<path>.tmp" and renamed into place, so a concurrent reader (or a kill
+/// mid-write) only ever sees the previous complete document or the new
+/// one. Throws std::runtime_error when the file cannot be written.
 void WriteJsonFile(const std::string& path, const JsonValue& value,
                    int indent = 2);
 

@@ -45,6 +45,11 @@ void SerialChannels::SetObservability(obs::MetricsRegistry* registry,
             ? nullptr
             : registry->GetGauge("pipeline.lane_depth", "lane",
                                  std::to_string(c));
+    channels_[c]->peak =
+        registry == nullptr
+            ? nullptr
+            : registry->GetGauge("pipeline.lane_depth_peak", "lane",
+                                 std::to_string(c));
   }
 }
 
@@ -58,6 +63,11 @@ void SerialChannels::Post(size_t channel, std::function<void()> task) {
     ch.queue.push_back(std::move(task));
     ++ch.posted;
     ObsAdd(ch.depth, 1);
+    const uint64_t depth = ch.posted - ch.completed;
+    if (depth > ch.peak_depth) {
+      ch.peak_depth = depth;
+      ObsSet(ch.peak, static_cast<int64_t>(depth));
+    }
   }
   ch.work_cv.notify_one();
 }

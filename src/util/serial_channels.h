@@ -69,9 +69,13 @@ class SerialChannels {
   void Drain();
 
   /// Attaches passive telemetry: a per-lane occupancy gauge
-  /// (pipeline.lane_depth{lane=N}, posted minus completed) and join-wait
-  /// spans ("lane.wait_until" / "lane.drain") on the trace. Null pointers
-  /// detach. Call while no tasks are posted (between rounds).
+  /// (pipeline.lane_depth{lane=N}, posted minus completed), a per-lane
+  /// high-watermark gauge (pipeline.lane_depth_peak{lane=N} — the
+  /// starvation signal: a lane whose depth sits pinned at its peak across
+  /// consecutive snapshots is backed up behind a stalled or slow backend,
+  /// see obs::ProgressWatchdog), and join-wait spans ("lane.wait_until" /
+  /// "lane.drain") on the trace. Null pointers detach. Call while no tasks
+  /// are posted (between rounds).
   void SetObservability(obs::MetricsRegistry* registry, obs::TraceLog* trace);
 
  private:
@@ -82,8 +86,10 @@ class SerialChannels {
     std::deque<std::function<void()>> queue;
     uint64_t posted = 0;
     uint64_t completed = 0;
+    uint64_t peak_depth = 0;  ///< high-watermark of posted - completed
     bool shutting_down = false;
     obs::Gauge* depth = nullptr;  ///< posted - completed; null when obs off
+    obs::Gauge* peak = nullptr;   ///< peak_depth mirror; null when obs off
     std::thread worker;
   };
 

@@ -240,6 +240,7 @@ TEST(FetchEquivalenceExtrasTest, ObservabilityOnIsBitIdenticalToOff) {
   observed_config.fetch_mode = FetchMode::kAsync;
   observed_config.observability.metrics = true;
   observed_config.observability.snapshot_every_units = 2;
+  observed_config.observability.http_port = 0;  // live exporter on too
   const std::string trace_path =
       testing::TempDir() + "/fetch_equivalence_obs.trace.json";
   const std::string report_path =

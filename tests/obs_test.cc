@@ -67,6 +67,68 @@ TEST(HistogramTest, SnapMergesRecordsAcrossValues) {
   EXPECT_EQ(snap.buckets[3], (std::pair<uint64_t, uint64_t>{1023, 1}));
 }
 
+TEST(HistogramTest, QuantilesInterpolateWithinBuckets) {
+  // 100 records of exact value 10 land in bucket [8, 15]: every quantile
+  // must stay inside that bucket's range regardless of interpolation.
+  obs::Histogram h;
+  for (int i = 0; i < 100; ++i) h.Record(10);
+  const obs::Histogram::Snapshot snap = h.Snap();
+  for (double q : {0.5, 0.95, 0.99}) {
+    const double v = snap.Quantile(q);
+    EXPECT_GE(v, 9.0) << q;   // bucket lower edge 8/2+1
+    EXPECT_LE(v, 15.0) << q;  // bucket upper bound
+  }
+  EXPECT_EQ(snap.p50, snap.Quantile(0.5));
+  EXPECT_EQ(snap.p95, snap.Quantile(0.95));
+  EXPECT_EQ(snap.p99, snap.Quantile(0.99));
+}
+
+TEST(HistogramTest, QuantileBucketEdges) {
+  // 90 zeros + 10 values in [512, 1023]: p50 sits in the zero bucket
+  // (exactly 0), p95/p99 in the tail bucket.
+  obs::Histogram h;
+  for (int i = 0; i < 90; ++i) h.Record(0);
+  for (int i = 0; i < 10; ++i) h.Record(1000);
+  const obs::Histogram::Snapshot snap = h.Snap();
+  EXPECT_EQ(snap.p50, 0.0);
+  EXPECT_GE(snap.p95, 513.0);  // tail bucket lower edge 1023/2+1
+  EXPECT_LE(snap.p95, 1023.0);
+  EXPECT_GE(snap.p99, snap.p95);  // monotone within one bucket
+  EXPECT_LE(snap.p99, 1023.0);
+  // Degenerate cases: empty histogram and out-of-range q are total.
+  EXPECT_EQ(obs::Histogram().Snap().Quantile(0.5), 0.0);
+  EXPECT_EQ(snap.Quantile(-1.0), snap.Quantile(0.0));
+  EXPECT_EQ(snap.Quantile(2.0), snap.Quantile(1.0));
+}
+
+TEST(HistogramTest, QuantilesSurviveJsonRoundTrip) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.GetHistogram("lat.us");
+  for (uint64_t v = 1; v <= 64; ++v) h->Record(v);
+  const obs::StatsSnapshot snap = registry.Snapshot(1);
+  const JsonValue json = snap.ToJson();
+  const JsonValue& hist = json.At("histograms").At("lat.us");
+  EXPECT_EQ(hist.At("p50").AsDouble(), snap.metrics[0].histogram.p50);
+  EXPECT_EQ(hist.At("p95").AsDouble(), snap.metrics[0].histogram.p95);
+  EXPECT_EQ(hist.At("p99").AsDouble(), snap.metrics[0].histogram.p99);
+  EXPECT_GT(hist.At("p50").AsDouble(), 0.0);
+}
+
+TEST(RegistryTest, DoubleGaugeRoundTrips) {
+  obs::MetricsRegistry registry;
+  registry.GetDoubleGauge("estimate.geweke_z")->Set(0.125);
+  registry.GetDoubleGauge("estimate.geweke_z")->Set(0.0625);  // same gauge
+  EXPECT_EQ(registry.DoubleGaugeValue("estimate.geweke_z"), 0.0625);
+  EXPECT_EQ(registry.DoubleGaugeValue("missing"), 0.0);
+  const obs::StatsSnapshot snap = registry.Snapshot(0);
+  ASSERT_EQ(snap.metrics.size(), 1u);
+  EXPECT_EQ(snap.metrics[0].kind, obs::MetricSnapshot::Kind::kDoubleGauge);
+  EXPECT_EQ(snap.metrics[0].dgauge, 0.0625);
+  // Double gauges publish into the snapshot's "gauges" JSON object.
+  EXPECT_EQ(snap.ToJson().At("gauges").At("estimate.geweke_z").AsDouble(),
+            0.0625);
+}
+
 TEST(CounterTest, ConcurrentIncrementsMergeExactly) {
   // 8 threads x 100k increments across the per-thread shards; Value() must
   // see every one once the writers join. The TSan CI job runs this test

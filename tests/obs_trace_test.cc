@@ -6,8 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
@@ -193,6 +197,58 @@ TEST(ObsTraceTest, CheckpointHistogramsRecordSaveAndLoad) {
   Cleanup(config);
   Cleanup(resumed_config);
   std::remove(ckpt_path.c_str());
+}
+
+TEST(ObsTraceTest, ReportIsIncrementalAndAtomicOnDisk) {
+  // The report is maintained at every snapshot point, not only at Finish:
+  // mid-run the file exists, parses, and says so.
+  ScenarioConfig config = ObservedScenario("incremental");
+  config.observability.snapshot_every_units = 1;
+  {
+    CrawlService service(config);
+    for (int i = 0; i < 3 && service.Advance(); ++i) {
+    }
+    const JsonValue mid = ParseJsonFile(config.observability.report_path);
+    EXPECT_FALSE(mid.At("status").At("finished").AsBool());
+    EXPECT_EQ(mid.At("status").At("units").AsUint(), 3u);
+    EXPECT_GT(mid.At("result").At("total_query_cost").AsUint(), 0u);
+    service.Finish();
+  }
+  const JsonValue final_report =
+      ParseJsonFile(config.observability.report_path);
+  EXPECT_TRUE(final_report.At("status").At("finished").AsBool());
+  // Atomic tmp+rename writes never leave their scratch file behind.
+  std::ifstream tmp(config.observability.report_path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  Cleanup(config);
+}
+
+TEST(ObsTraceTest, KilledRunLeavesAParseableLastKnownGoodReport) {
+  // A SIGKILL-style death (child exits without destructors or flushes)
+  // must leave the last completed tmp+rename on disk: the report is either
+  // the previous snapshot's image or the new one, never a torn write.
+  ScenarioConfig config = ObservedScenario("killed");
+  config.observability.snapshot_every_units = 1;
+  config.observability.trace_path.clear();  // trace only writes at Finish
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // In the child: crawl a few units so several report generations land,
+    // then die abruptly mid-run.
+    CrawlService service(config);
+    for (int i = 0; i < 5 && service.Advance(); ++i) {
+    }
+    _exit(0);  // no Finish(), no destructors — the "kill"
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+
+  const JsonValue report = ParseJsonFile(config.observability.report_path);
+  EXPECT_FALSE(report.At("status").At("finished").AsBool());
+  EXPECT_GE(report.At("status").At("units").AsUint(), 1u);
+  EXPECT_EQ(report.At("scenario").At("dataset").AsString(), config.dataset);
+  Cleanup(config);
 }
 
 TEST(ObsTraceTest, TraceLogDropsGracefullyWhenRingOverflows) {

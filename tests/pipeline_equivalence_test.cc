@@ -209,6 +209,7 @@ TEST(PipelineEquivalenceExtrasTest, ObservedPipelinedMatchesUnobservedSync) {
   observed_config.pipeline_depth = 2;
   observed_config.observability.metrics = true;
   observed_config.observability.snapshot_every_units = 2;
+  observed_config.observability.http_port = 0;  // live exporter on too
   const std::string trace_path =
       testing::TempDir() + "/pipeline_equivalence_obs.trace.json";
   observed_config.observability.trace_path = trace_path;
