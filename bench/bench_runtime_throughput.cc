@@ -42,6 +42,7 @@
 #include "src/util/table.h"
 #include "src/walk/parallel_walkers.h"
 #include "src/walk/srw.h"
+#include "src/walk/walk_program.h"
 
 namespace {
 
@@ -139,6 +140,21 @@ std::unique_ptr<Sampler> MakeMtoWalker(RestrictedInterface& iface, Rng& rng,
                                        size_t i) {
   return std::make_unique<MtoSampler>(
       iface, rng, static_cast<NodeId>(i % iface.num_users()));
+}
+
+/// Registry-driven factory for the per-program section; node2vec runs with
+/// the customary non-trivial bias (p=0.5, q=2) so the second-order weighing
+/// path is actually on the clock.
+CrawlScheduler::WalkerFactory ProgramFactory(const std::string& program) {
+  return [program](RestrictedInterface& iface, Rng& rng, size_t i) {
+    WalkProgramParams params;
+    if (program == "node2vec") {
+      params.p = 0.5;
+      params.q = 2.0;
+    }
+    return GetWalkProgram(program).MakeWalker(
+        iface, rng, static_cast<NodeId>(i % iface.num_users()), params);
+  };
 }
 
 /// Single-threaded round-robin baseline: the pre-runtime execution model.
@@ -496,9 +512,37 @@ int main(int argc, char** argv) {
   PrintSection("Metrics ablation (CPU-bound free-run, 8 threads)", obs_rows,
                obs_rows.front());
 
+  bool ok = true;
+
+  // --- Per-program throughput: the WalkProgram registry's built-ins in
+  // the latency-bound coalesced regime (batch 64), 1 vs 4 threads. Each
+  // program walks its own trajectory, so determinism is checked pairwise
+  // within a program (1-thread vs 4-thread positions and unique-query
+  // cost) rather than through the cross-section loop below; throughput
+  // rows feed the CI perf gate like every other section.
+  const size_t prog_rounds = std::max<size_t>(1, rounds / 40);
+  std::vector<Row> prog_rows;
+  for (const char* program : {"srw", "mhrw", "node2vec", "pagerank"}) {
+    std::vector<Row> pair;
+    for (size_t threads : {1u, 4u}) {
+      Row row = RunScheduler(net, walkers, threads, prog_rounds, kRtt, 64,
+                             ProgramFactory(program), program);
+      row.section = "per-program";
+      pair.push_back(row);
+    }
+    if (pair[0].positions != pair[1].positions ||
+        pair[0].unique_queries != pair[1].unique_queries) {
+      ok = false;
+      std::cout << "DETERMINISM VIOLATION: program " << program
+                << " diverges across thread counts\n";
+    }
+    prog_rows.insert(prog_rows.end(), pair.begin(), pair.end());
+  }
+  PrintSection("Per-program throughput (200us RTT, coalesced batch 64)",
+               prog_rows, prog_rows.front());
+
   // Invariant check across every configuration of a section: walkers only
   // go faster, they never walk elsewhere or pay a different query cost.
-  bool ok = true;
   for (const auto* rows : {&cpu_rows, &lat_rows, &mto_rows, &mb_rows,
                            &pl_rows, &obs_rows}) {
     for (const Row& r : *rows) {
@@ -520,6 +564,7 @@ int main(int argc, char** argv) {
   all.insert(all.end(), mto_rows.begin(), mto_rows.end());
   all.insert(all.end(), mb_rows.begin(), mb_rows.end());
   all.insert(all.end(), pl_rows.begin(), pl_rows.end());
+  all.insert(all.end(), prog_rows.begin(), prog_rows.end());
   all.insert(all.end(), obs_rows.begin(), obs_rows.end());
   if (!json_path.empty()) WriteJson(json_path, all);
   return ok ? 0 : 1;

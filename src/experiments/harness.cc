@@ -6,9 +6,7 @@
 #include "src/estimate/metrics.h"
 #include "src/estimate/sampling_distribution.h"
 #include "src/mcmc/geweke.h"
-#include "src/walk/mhrw.h"
-#include "src/walk/random_jump.h"
-#include "src/walk/srw.h"
+#include "src/walk/walk_program.h"
 
 namespace mto {
 
@@ -42,19 +40,20 @@ std::unique_ptr<Sampler> MakeSampler(SamplerKind kind,
                                      RestrictedInterface& interface, Rng& rng,
                                      NodeId start, const MtoConfig& mto_config,
                                      double jump_probability) {
-  if (start >= interface.num_users()) start = 0;
+  // The enum is a legacy facade over the WalkProgram registry (the single
+  // source of walk dispatch — see src/walk/walk_program.h).
+  const char* name = nullptr;
   switch (kind) {
-    case SamplerKind::kSrw:
-      return std::make_unique<SimpleRandomWalk>(interface, rng, start);
-    case SamplerKind::kMhrw:
-      return std::make_unique<MetropolisHastingsWalk>(interface, rng, start);
-    case SamplerKind::kRandomJump:
-      return std::make_unique<RandomJumpWalk>(interface, rng, start,
-                                              jump_probability);
-    case SamplerKind::kMto:
-      return std::make_unique<MtoSampler>(interface, rng, start, mto_config);
+    case SamplerKind::kSrw: name = "srw"; break;
+    case SamplerKind::kMhrw: name = "mhrw"; break;
+    case SamplerKind::kRandomJump: name = "random_jump"; break;
+    case SamplerKind::kMto: name = "mto"; break;
   }
-  throw std::invalid_argument("MakeSampler: unknown kind");
+  if (name == nullptr) throw std::invalid_argument("MakeSampler: unknown kind");
+  WalkProgramParams params;
+  params.mto = mto_config;
+  params.jump_probability = jump_probability;
+  return GetWalkProgram(name).MakeWalker(interface, rng, start, params);
 }
 
 namespace {

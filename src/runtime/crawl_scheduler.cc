@@ -54,6 +54,12 @@ void CrawlScheduler::SetObservability(obs::MetricsRegistry* registry,
   } else {
     metrics_.rounds = registry->GetCounter("scheduler.rounds");
     metrics_.steps = registry->GetCounter("scheduler.steps");
+    if (!config_.program_label.empty()) {
+      metrics_.rounds_labeled = registry->GetCounter(
+          "scheduler.rounds", "program", config_.program_label);
+      metrics_.steps_labeled = registry->GetCounter(
+          "scheduler.steps", "program", config_.program_label);
+    }
     metrics_.speculative_commits =
         registry->GetGauge("scheduler.speculative_commits");
     metrics_.speculation_hits =
@@ -95,6 +101,8 @@ void CrawlScheduler::RunRounds(size_t rounds,
   total_steps_ += rounds * walkers_.size();
   ObsAdd(metrics_.rounds, rounds);
   ObsAdd(metrics_.steps, rounds * walkers_.size());
+  ObsAdd(metrics_.rounds_labeled, rounds);
+  ObsAdd(metrics_.steps_labeled, rounds * walkers_.size());
   // Passive read of the walkers' own speculation counters — legal here
   // because no walker is running between RunRounds calls.
   RefreshSpeculationGauges();
@@ -279,7 +287,8 @@ std::vector<CrawlScheduler::WalkerState> CrawlScheduler::SnapshotWalkers()
   std::vector<WalkerState> states;
   states.reserve(walkers_.size());
   for (size_t i = 0; i < walkers_.size(); ++i) {
-    states.push_back({walkers_[i]->current(), rngs_[i]->SaveState()});
+    states.push_back({walkers_[i]->current(), rngs_[i]->SaveState(),
+                      walkers_[i]->PreviousNode()});
   }
   return states;
 }
@@ -292,6 +301,9 @@ void CrawlScheduler::RestoreWalkers(const std::vector<WalkerState>& states,
   }
   for (size_t i = 0; i < walkers_.size(); ++i) {
     walkers_[i]->Teleport(states[i].position);
+    // After the Teleport: teleports clear the second-order register on
+    // walks that carry one, and the snapshot's value must win.
+    walkers_[i]->RestorePrevious(states[i].previous);
     rngs_[i]->RestoreState(states[i].rng_state);
   }
   total_steps_ = total_steps;

@@ -49,6 +49,11 @@ struct CrawlConfig {
   /// trace, estimates, costs, and per-backend ledgers are bit-identical to
   /// sync mode (DESIGN.md §10).
   size_t pipeline_depth = 0;
+  /// Walk-program label for per-program metric twins
+  /// (scheduler.rounds{program=...} / scheduler.steps{program=...});
+  /// empty = no labeled twins. Purely observational — never consulted on
+  /// the step path.
+  std::string program_label = {};
 };
 
 /// Shards W walkers across a fixed thread pool, deterministically.
@@ -110,12 +115,18 @@ class CrawlScheduler {
 
   /// Checkpointable per-walker state. Captured and restored only between
   /// RunRounds calls, where a walker's full state is its position plus its
-  /// RNG stream. (MTO additionally carries its mutable overlay; the service
-  /// layer snapshots/restores that separately via MtoSampler's
-  /// SnapshotOverlay/RestoreOverlay — see src/service/checkpoint.h.)
+  /// RNG stream — plus, for second-order programs (node2vec), the previous
+  /// node of its (prev, cur) frontier. (MTO additionally carries its
+  /// mutable overlay; the service layer snapshots/restores that separately
+  /// via MtoSampler's SnapshotOverlay/RestoreOverlay — see
+  /// src/service/checkpoint.h.)
   struct WalkerState {
     NodeId position = 0;
     std::array<uint64_t, 4> rng_state{};
+    /// Second-order register (Sampler::PreviousNode); nullopt for one-node
+    /// walks and for fresh/teleported second-order walks. Serialized in
+    /// checkpoint format v3's own section, not the v2 walker record.
+    std::optional<NodeId> previous = std::nullopt;
   };
 
   /// Snapshots every walker (position + RNG state), walker order.
@@ -154,10 +165,15 @@ class CrawlScheduler {
   std::unique_ptr<ThreadPool> pool_;
   uint64_t total_steps_ = 0;
 
-  /// Resolved metric pointers; all null when observability is off.
+  /// Resolved metric pointers; all null when observability is off. The
+  /// labeled twins carry the program label from CrawlConfig (null when the
+  /// label is empty); the plain counters always stay — CI's live scrape
+  /// requires the unlabeled scheduler_rounds family.
   struct SchedulerMetrics {
     obs::Counter* rounds = nullptr;
     obs::Counter* steps = nullptr;
+    obs::Counter* rounds_labeled = nullptr;
+    obs::Counter* steps_labeled = nullptr;
     obs::Gauge* speculative_commits = nullptr;
     obs::Gauge* speculation_hits = nullptr;
   };

@@ -187,6 +187,19 @@ void ServiceCheckpoint::Save(const std::string& path) const {
       }
     }
     w.U64(checksum.hash());
+
+    // Second-order walker section (v3): the (prev, cur) register of
+    // second-order programs, checksummed like the overlay section.
+    SectionChecksum so_checksum;
+    so_checksum.Mix(second_order.size());
+    w.U64(second_order.size());
+    for (const SecondOrderRecord& record : second_order) {
+      so_checksum.Mix(record.has_prev);
+      w.U8(record.has_prev);
+      so_checksum.Mix(record.prev);
+      w.U32(record.prev);
+    }
+    w.U64(so_checksum.hash());
     // Flush + close before the rename so buffered-write errors surface
     // while the previous checkpoint is still intact on disk.
     out.flush();
@@ -220,7 +233,7 @@ ServiceCheckpoint ServiceCheckpoint::Load(const std::string& path) {
     throw std::runtime_error(
         "checkpoint: unsupported version " + std::to_string(version) +
         (version > kVersion ? " (written by a future build)"
-                            : " (predates the overlay section)"));
+                            : " (predates the second-order walker section)"));
   }
   ServiceCheckpoint ckpt;
   ckpt.config_fingerprint = r.U64();
@@ -308,6 +321,22 @@ ServiceCheckpoint ServiceCheckpoint::Load(const std::string& path) {
   if (r.U64() != checksum.hash()) {
     throw std::runtime_error(
         "checkpoint: overlay-section checksum mismatch in " + path);
+  }
+
+  // Second-order walker section (v3), checksummed like the overlay one.
+  SectionChecksum so_checksum;
+  // Each record is 5 encoded bytes (has_prev byte + prev word).
+  ckpt.second_order.resize(r.Count(1 << 24, 5));
+  so_checksum.Mix(ckpt.second_order.size());
+  for (SecondOrderRecord& record : ckpt.second_order) {
+    record.has_prev = r.U8();
+    so_checksum.Mix(record.has_prev);
+    record.prev = r.U32();
+    so_checksum.Mix(record.prev);
+  }
+  if (r.U64() != so_checksum.hash()) {
+    throw std::runtime_error(
+        "checkpoint: second-order-section checksum mismatch in " + path);
   }
   return ckpt;
 }

@@ -30,12 +30,16 @@ enum class CrawlPhase : uint8_t { kBurnIn = 0, kSampling = 1, kDone = 2 };
 /// Format: little-endian binary, magic "MTOCKPT" + version. Version 2 adds
 /// the overlay section, guarded by its own FNV-1a checksum so a corrupted
 /// overlay fails loudly instead of resuming a silently different topology.
-/// Any version other than kVersion is rejected (older checkpoints predate
-/// the overlay section; newer ones come from a future build). A
+/// Version 3 appends the second-order walker section (the (prev, cur)
+/// register of second-order programs like node2vec), checksummed the same
+/// way — the v2 walker record layout is unchanged, so the new state rides
+/// in its own trailing section. Any version other than kVersion is
+/// rejected (older checkpoints predate the second-order section; newer
+/// ones come from a future build) — there is no silent downgrade path. A
 /// fingerprint of the scenario (ScenarioConfig::Fingerprint) guards
 /// against resuming under a different configuration.
 struct ServiceCheckpoint {
-  static constexpr uint32_t kVersion = 2;
+  static constexpr uint32_t kVersion = 3;
 
   uint64_t config_fingerprint = 0;
 
@@ -77,6 +81,16 @@ struct ServiceCheckpoint {
     uint8_t frozen = 0;
   };
   std::vector<OverlayRecord> overlays;
+
+  // Second-order walker state (v3; second-order programs only): empty, or
+  // exactly one record per walker, in walker order — the walker's
+  // (prev, cur) register beyond the position already in its WalkerState.
+  // Serialized as the file's trailing section with its own FNV-1a checksum.
+  struct SecondOrderRecord {
+    uint8_t has_prev = 0;
+    NodeId prev = 0;
+  };
+  std::vector<SecondOrderRecord> second_order;
 
   /// Writes the checkpoint atomically (tmp file + rename) so a crash while
   /// saving never corrupts the previous checkpoint. Throws

@@ -22,6 +22,7 @@ CrawlService::CrawlService(const ScenarioConfig& config)
       network_(SocialNetwork::WithSyntheticProfiles(
           MakeDataset(config.dataset), kProfileSeed)) {
   config_.Validate();
+  program_ = &GetWalkProgram(config_.ProgramName());
 
   std::vector<BackendConfig> backends = config_.backends;
   if (backends.empty()) backends.push_back(BackendConfig{});  // perfect key
@@ -42,6 +43,7 @@ CrawlService::CrawlService(const ScenarioConfig& config)
   crawl.fetch_threads = config_.fetch_threads != 0 ? config_.fetch_threads
                                                    : pool_->num_backends();
   crawl.pipeline_depth = config_.pipeline_depth;
+  crawl.program_label = config_.ProgramName();
   scheduler_ = std::make_unique<CrawlScheduler>(
       *session_, crawl, config_.seed,
       [this](RestrictedInterface& iface, Rng& rng, size_t) {
@@ -49,8 +51,13 @@ CrawlService::CrawlService(const ScenarioConfig& config)
         // exactly like the parallel harness.
         const NodeId start =
             static_cast<NodeId>(rng.UniformInt(network_.num_users()));
-        return MakeSampler(config_.sampler, iface, rng, start, MtoConfig{},
-                           config_.jump_probability);
+        WalkProgramParams params;
+        params.jump_probability = config_.jump_probability;
+        params.p = config_.program.p;
+        params.q = config_.program.q;
+        params.restart = config_.program.restart;
+        params.mto = config_.mto;
+        return program_->MakeWalker(iface, rng, start, params);
       });
 
   EstimationPipeline::Options options;
@@ -102,8 +109,9 @@ CrawlService::~CrawlService() = default;
 void CrawlService::EndBurnIn() {
   burn_in_rounds_ = rounds_;
   burn_in_query_cost_ = session_->QueryCost();
-  // MTO chains sample from a frozen overlay (harness default); the service
-  // has no ablation knob for it.
+  // MTO chains sample from a frozen overlay (harness default). The "mto"
+  // scenario block exposes the rewiring ablations; freezing stays fixed —
+  // it is what makes the sampling chain's importance weights consistent.
   for (size_t i = 0; i < scheduler_->size(); ++i) {
     if (auto* mto = dynamic_cast<MtoSampler*>(&scheduler_->walker(i))) {
       mto->FreezeTopology();
@@ -272,7 +280,8 @@ JsonValue CrawlService::RunReport() const {
   JsonValue scenario = JsonValue::Object();
   auto& sc = scenario.MutableObject();
   sc["dataset"] = JsonValue(config_.dataset);
-  sc["sampler"] = JsonValue(std::string(SamplerKindKey(config_.sampler)));
+  sc["sampler"] = JsonValue(config_.ProgramName());
+  sc["program"] = JsonValue(config_.ProgramName());
   sc["attribute"] = JsonValue(std::string(AttributeKey(config_.attribute)));
   sc["seed"] = JsonValue(static_cast<double>(config_.seed));
   sc["walkers"] = JsonValue(static_cast<double>(config_.num_walkers));
@@ -395,15 +404,26 @@ void CrawlService::SaveCheckpoint(const std::string& path) {
   ckpt.burn_in_query_cost = burn_in_query_cost_;
   ckpt.diagnostics = diagnostics_stream_;
   ckpt.samples = samples_stream_;
-  // MTO walkers additionally carry a mutable overlay; snapshot its delta
-  // per walker (walker order). The rewiring RNG is the walker RNG, already
+  // Overlay-carrying walkers (MTO) additionally snapshot their delta per
+  // walker (walker order). The rewiring RNG is the walker RNG, already
   // captured in WalkerState.
-  if (config_.sampler == SamplerKind::kMto) {
+  if (program_->uses_overlay()) {
     ckpt.overlays.reserve(scheduler_->size());
     for (size_t i = 0; i < scheduler_->size(); ++i) {
       auto& walker = dynamic_cast<MtoSampler&>(scheduler_->walker(i));
       ckpt.overlays.push_back({walker.SnapshotOverlay(),
                                walker.frozen() ? uint8_t{1} : uint8_t{0}});
+    }
+  }
+  // Second-order programs carry a (prev, cur) register per walker; the
+  // snapshot already captured it in WalkerState, serialize it in the v3
+  // section (one record per walker, walker order).
+  if (program_->frontier_shape() == FrontierShape::kSecondOrder) {
+    ckpt.second_order.reserve(ckpt.walkers.size());
+    for (const auto& walker : ckpt.walkers) {
+      ckpt.second_order.push_back(
+          {walker.previous.has_value() ? uint8_t{1} : uint8_t{0},
+           walker.previous.value_or(0)});
     }
   }
   const auto start = std::chrono::steady_clock::now();
@@ -447,13 +467,34 @@ void CrawlService::LoadCheckpoint(const std::string& path) {
   session_->RestoreSession(ckpt.session);
   pool_->RestoreBackends(
       {ckpt.ledgers, ckpt.round_robin_cursor, ckpt.failed_fetches});
-  scheduler_->RestoreWalkers(ckpt.walkers, ckpt.total_steps);
+
+  // Second-order programs require their register section — a checkpoint
+  // without it would silently restart every walker's (prev, cur) frontier
+  // mid-edge, so its absence (or a count mismatch) is a hard error, and a
+  // one-node program rejects a populated section symmetrically.
+  std::vector<CrawlScheduler::WalkerState> walker_states = ckpt.walkers;
+  if (program_->frontier_shape() == FrontierShape::kSecondOrder) {
+    if (ckpt.second_order.size() != walker_states.size()) {
+      throw std::runtime_error(
+          "LoadCheckpoint: second-order record count does not match walkers");
+    }
+    for (size_t i = 0; i < walker_states.size(); ++i) {
+      if (ckpt.second_order[i].has_prev != 0) {
+        walker_states[i].previous = ckpt.second_order[i].prev;
+      }
+    }
+  } else if (!ckpt.second_order.empty()) {
+    throw std::runtime_error(
+        "LoadCheckpoint: checkpoint carries second-order state for a "
+        "one-node program");
+  }
+  scheduler_->RestoreWalkers(walker_states, ckpt.total_steps);
 
   // MTO overlays: rebuild each walker's overlay from its delta. Responses
   // come from network ground truth — every registered node was once
   // successfully queried, so its cached response equals the network's
   // neighbor list — which keeps the restore free of interface traffic.
-  if (config_.sampler == SamplerKind::kMto) {
+  if (program_->uses_overlay()) {
     if (ckpt.overlays.size() != scheduler_->size()) {
       throw std::runtime_error(
           "LoadCheckpoint: overlay record count does not match walkers");
@@ -473,7 +514,8 @@ void CrawlService::LoadCheckpoint(const std::string& path) {
     }
   } else if (!ckpt.overlays.empty()) {
     throw std::runtime_error(
-        "LoadCheckpoint: checkpoint carries overlays for a non-MTO scenario");
+        "LoadCheckpoint: checkpoint carries overlays for a non-overlay "
+        "program");
   }
 
   // Replay the estimation streams: the pipeline's state after n items is a

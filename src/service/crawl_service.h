@@ -17,6 +17,7 @@
 #include "src/service/backend_pool.h"
 #include "src/service/checkpoint.h"
 #include "src/service/scenario_config.h"
+#include "src/walk/walk_program.h"
 
 namespace mto {
 
@@ -70,6 +71,13 @@ class CrawlService {
   const ConcurrentInterfaceCache& session() const { return *session_; }
   CrawlPhase phase() const { return phase_; }
   size_t rounds() const { return rounds_; }
+
+  /// The resolved walk program driving this run's walkers.
+  const WalkProgram& program() const { return *program_; }
+
+  /// The underlying scheduler — walker access between Advance units only
+  /// (ablation tests read per-walker overlay state through this).
+  CrawlScheduler& scheduler() { return *scheduler_; }
 
   bool Done() const { return phase_ == CrawlPhase::kDone; }
 
@@ -134,6 +142,9 @@ class CrawlService {
 
   ScenarioConfig config_;
   SocialNetwork network_;
+  /// Registry singleton for config_.ProgramName(); resolved at
+  /// construction, never null afterwards.
+  const WalkProgram* program_ = nullptr;
 
   // Observability (all null/empty when the scenario leaves it off).
   // Declared before the crawl components: scheduler and pipeline threads

@@ -4,6 +4,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "src/walk/walk_program.h"
+
 namespace mto {
 namespace {
 
@@ -75,6 +77,21 @@ BackendSelection ParseSelection(const std::string& s) {
                               "\"");
 }
 
+CriterionBasis ParseCriterionBasis(const std::string& s) {
+  if (s == "overlay") return CriterionBasis::kOverlay;
+  if (s == "original") return CriterionBasis::kOriginal;
+  throw std::invalid_argument("ScenarioConfig: unknown mto.criterion_basis \"" +
+                              s + "\"");
+}
+
+OverlayDegreeMode ParseWeightMode(const std::string& s) {
+  if (s == "overlay_view") return OverlayDegreeMode::kOverlayView;
+  if (s == "probe") return OverlayDegreeMode::kProbe;
+  if (s == "exact") return OverlayDegreeMode::kExact;
+  throw std::invalid_argument("ScenarioConfig: unknown mto.weight_mode \"" + s +
+                              "\"");
+}
+
 BackendConfig ParseBackend(const JsonValue& obj, size_t index) {
   CheckKeys(obj, "backends[]",
             {"name", "budget", "rate_per_sec", "burst", "latency_us",
@@ -121,17 +138,107 @@ const char* AttributeKey(Attribute attribute) {
 
 ScenarioConfig ScenarioConfig::FromJson(const JsonValue& root) {
   CheckKeys(root, "the document",
-            {"dataset", "seed", "sampler", "attribute", "jump_probability",
-             "walkers", "threads", "coalesce_frontier", "fetch_mode",
-             "fetch_threads", "pipeline_depth", "queue_capacity", "geweke",
-             "max_burn_in_rounds", "num_samples", "thinning", "total_budget",
-             "backends", "strategy", "routing", "retry", "fault_seed",
-             "checkpoint", "observability"});
+            {"dataset", "seed", "sampler", "program", "mto", "attribute",
+             "jump_probability", "walkers", "threads", "coalesce_frontier",
+             "fetch_mode", "fetch_threads", "pipeline_depth", "queue_capacity",
+             "geweke", "max_burn_in_rounds", "num_samples", "thinning",
+             "total_budget", "backends", "strategy", "routing", "retry",
+             "fault_seed", "checkpoint", "observability"});
   ScenarioConfig config;
   if (root.Has("dataset")) config.dataset = root.At("dataset").AsString();
   if (root.Has("seed")) config.seed = root.At("seed").AsUint();
+  // "program" subsumes the historical "sampler" key; like
+  // "strategy"/"routing", naming both is a contradiction waiting to happen.
+  if (root.Has("sampler") && root.Has("program")) {
+    throw std::invalid_argument(
+        "ScenarioConfig: \"sampler\" and \"program\" are aliases; "
+        "specify only one");
+  }
   if (root.Has("sampler")) {
     config.sampler = ParseSamplerKind(root.At("sampler").AsString());
+  }
+  if (root.Has("program")) {
+    const JsonValue& program = root.At("program");
+    CheckKeys(program, "program", {"name", "p", "q", "restart"});
+    if (!program.Has("name")) {
+      throw std::invalid_argument("ScenarioConfig: program.name is required");
+    }
+    config.program.name = program.At("name").AsString();
+    if (FindWalkProgram(config.program.name) == nullptr) {
+      throw std::invalid_argument("ScenarioConfig: unknown program \"" +
+                                  config.program.name + "\"");
+    }
+    // Canonical registry name ("rj" -> "random_jump") so fingerprints and
+    // metric labels never depend on which alias the document used.
+    config.program.name =
+        std::string(GetWalkProgram(config.program.name).name());
+    // Per-program knobs are rejected for programs that ignore them — a knob
+    // that silently does nothing is the same bug class as an unknown key.
+    if ((program.Has("p") || program.Has("q")) &&
+        config.program.name != "node2vec") {
+      throw std::invalid_argument(
+          "ScenarioConfig: program.p/q apply only to node2vec");
+    }
+    if (program.Has("restart") && config.program.name != "pagerank") {
+      throw std::invalid_argument(
+          "ScenarioConfig: program.restart applies only to pagerank");
+    }
+    if (program.Has("p")) config.program.p = program.At("p").AsDouble();
+    if (program.Has("q")) config.program.q = program.At("q").AsDouble();
+    if (program.Has("restart")) {
+      config.program.restart = program.At("restart").AsDouble();
+    }
+    // Keep the legacy enum in sync when the program has one, so enum-based
+    // consumers (run reports, experiment harness helpers) agree.
+    if (config.program.name == "srw") config.sampler = SamplerKind::kSrw;
+    if (config.program.name == "mhrw") config.sampler = SamplerKind::kMhrw;
+    if (config.program.name == "random_jump") {
+      config.sampler = SamplerKind::kRandomJump;
+    }
+    if (config.program.name == "mto") config.sampler = SamplerKind::kMto;
+  }
+  if (root.Has("mto")) {
+    const JsonValue& mto = root.At("mto");
+    CheckKeys(mto, "mto",
+              {"enable_removal", "criterion_basis", "min_overlay_degree",
+               "enable_replacement", "use_degree_extension", "lazy",
+               "replace_probability", "weight_mode", "degree_probe",
+               "max_inner_iterations"});
+    config.mto_configured = true;
+    if (mto.Has("enable_removal")) {
+      config.mto.enable_removal = mto.At("enable_removal").AsBool();
+    }
+    if (mto.Has("criterion_basis")) {
+      config.mto.criterion_basis =
+          ParseCriterionBasis(mto.At("criterion_basis").AsString());
+    }
+    if (mto.Has("min_overlay_degree")) {
+      config.mto.min_overlay_degree =
+          static_cast<uint32_t>(mto.At("min_overlay_degree").AsUint());
+    }
+    if (mto.Has("enable_replacement")) {
+      config.mto.enable_replacement = mto.At("enable_replacement").AsBool();
+    }
+    if (mto.Has("use_degree_extension")) {
+      config.mto.use_degree_extension =
+          mto.At("use_degree_extension").AsBool();
+    }
+    if (mto.Has("lazy")) config.mto.lazy = mto.At("lazy").AsBool();
+    if (mto.Has("replace_probability")) {
+      config.mto.replace_probability =
+          mto.At("replace_probability").AsDouble();
+    }
+    if (mto.Has("weight_mode")) {
+      config.mto.weight_mode = ParseWeightMode(mto.At("weight_mode").AsString());
+    }
+    if (mto.Has("degree_probe")) {
+      config.mto.degree_probe =
+          static_cast<uint32_t>(mto.At("degree_probe").AsUint());
+    }
+    if (mto.Has("max_inner_iterations")) {
+      config.mto.max_inner_iterations =
+          static_cast<uint32_t>(mto.At("max_inner_iterations").AsUint());
+    }
   }
   if (root.Has("attribute")) {
     config.attribute = ParseAttribute(root.At("attribute").AsString());
@@ -297,6 +404,36 @@ void ScenarioConfig::Validate() const {
     throw std::invalid_argument(
         "ScenarioConfig: jump_probability must be in [0, 1]");
   }
+  if (!program.name.empty() && FindWalkProgram(program.name) == nullptr) {
+    throw std::invalid_argument("ScenarioConfig: unknown program \"" +
+                                program.name + "\"");
+  }
+  if (!(program.p > 0.0) || !(program.q > 0.0)) {
+    throw std::invalid_argument(
+        "ScenarioConfig: program.p and program.q must be > 0");
+  }
+  if (program.restart < 0.0 || program.restart > 1.0) {
+    throw std::invalid_argument(
+        "ScenarioConfig: program.restart must be in [0, 1]");
+  }
+  if (mto_configured && ProgramName() != "mto") {
+    throw std::invalid_argument(
+        "ScenarioConfig: the \"mto\" block requires the mto program");
+  }
+  if (mto.replace_probability < 0.0 || mto.replace_probability > 1.0) {
+    throw std::invalid_argument(
+        "ScenarioConfig: mto.replace_probability must be in [0, 1]");
+  }
+  if (mto_configured && mto.weight_mode == OverlayDegreeMode::kProbe &&
+      mto.degree_probe == 0) {
+    throw std::invalid_argument(
+        "ScenarioConfig: mto.degree_probe must be >= 1 under weight_mode "
+        "\"probe\"");
+  }
+  if (mto.max_inner_iterations == 0) {
+    throw std::invalid_argument(
+        "ScenarioConfig: mto.max_inner_iterations must be >= 1");
+  }
   retry.Validate();
   for (const auto& backend : backends) backend.Validate();
   if (checkpoint.every_units > 0 && checkpoint.path.empty()) {
@@ -325,11 +462,34 @@ void ScenarioConfig::Validate() const {
   }
 }
 
+std::string ScenarioConfig::ProgramName() const {
+  return program.name.empty() ? std::string(SamplerKindKey(sampler))
+                              : program.name;
+}
+
 uint64_t ScenarioConfig::Fingerprint() const {
   Fnv fnv;
   fnv.Mix(dataset);
   fnv.Mix(seed);
-  fnv.Mix(static_cast<uint64_t>(sampler));
+  // The resolved program name replaces the historical sampler-enum mix, so
+  // "sampler": "srw" and "program": {"name": "srw"} fingerprint alike.
+  fnv.Mix(ProgramName());
+  fnv.Mix(program.p);
+  fnv.Mix(program.q);
+  fnv.Mix(program.restart);
+  // MTO ablation knobs: every one changes the walk's trajectory, so every
+  // one invalidates checkpoints. Mixed unconditionally (they sit at their
+  // defaults for non-MTO programs).
+  fnv.Mix(static_cast<uint64_t>(mto.enable_removal));
+  fnv.Mix(static_cast<uint64_t>(mto.criterion_basis));
+  fnv.Mix(static_cast<uint64_t>(mto.min_overlay_degree));
+  fnv.Mix(static_cast<uint64_t>(mto.enable_replacement));
+  fnv.Mix(static_cast<uint64_t>(mto.use_degree_extension));
+  fnv.Mix(static_cast<uint64_t>(mto.lazy));
+  fnv.Mix(mto.replace_probability);
+  fnv.Mix(static_cast<uint64_t>(mto.weight_mode));
+  fnv.Mix(static_cast<uint64_t>(mto.degree_probe));
+  fnv.Mix(static_cast<uint64_t>(mto.max_inner_iterations));
   fnv.Mix(static_cast<uint64_t>(attribute));
   fnv.Mix(jump_probability);
   fnv.Mix(static_cast<uint64_t>(num_walkers));

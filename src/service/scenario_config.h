@@ -19,6 +19,18 @@ struct CheckpointConfig {
   size_t every_units = 0;    ///< save every N Advance() units; 0 = disabled
 };
 
+/// Walk-program selection (the scenario's `"program"` object). Subsumes the
+/// historical `"sampler"` enum key: `name` is resolved through the
+/// WalkProgram registry (src/walk/walk_program.h), so new programs need no
+/// enum surgery. `"sampler"` and `"program"` are aliases of the same choice
+/// and naming both is an error.
+struct ProgramConfig {
+  std::string name;       ///< empty = fall back to the `sampler` key
+  double p = 1.0;         ///< node2vec return parameter (> 0)
+  double q = 1.0;         ///< node2vec in-out parameter (> 0)
+  double restart = 0.15;  ///< pagerank teleport probability ([0, 1])
+};
+
 /// Passive telemetry of a CrawlService run (all off by default). Strictly
 /// observational: enabling any of it draws no randomness, issues no
 /// queries, and mutates no session state, so results stay bit-identical to
@@ -95,6 +107,20 @@ struct ScenarioConfig {
   Attribute attribute = Attribute::kDegree;
   double jump_probability = 0.5;  ///< used when sampler == random_jump
 
+  /// Walk-program selection (`"program"` object; preferred over the
+  /// historical `"sampler"` key, which it aliases — naming both is an
+  /// error). When `program.name` is one of the four legacy names the
+  /// `sampler` enum is kept in sync for downstream consumers.
+  ProgramConfig program;
+  /// The paper's MTO ablation knobs (`"mto"` object); consumed only when
+  /// the resolved program is "mto" — setting the block for any other
+  /// program is an error. Every knob is part of the checkpoint
+  /// fingerprint: resuming under a different ablation fails loudly.
+  MtoConfig mto;
+  /// True when the document carried an `"mto"` block (the defaults are
+  /// indistinguishable from an empty block, so validation needs the bit).
+  bool mto_configured = false;
+
   size_t num_walkers = 8;
   size_t num_threads = 1;
   bool coalesce_frontier = false;
@@ -144,6 +170,12 @@ struct ScenarioConfig {
 
   /// Semantic validation (ranges, sampler/checkpoint compatibility).
   void Validate() const;
+
+  /// The resolved walk-program registry name: `program.name` when the
+  /// document selected one, else the legacy `sampler` key's name. This is
+  /// what CrawlService resolves through GetWalkProgram, what the
+  /// fingerprint mixes, and what metric labels carry.
+  std::string ProgramName() const;
 
   /// Stable hash of the fields that determine crawl behavior; stored in
   /// checkpoints so resuming under a different scenario fails loudly.

@@ -1,0 +1,104 @@
+#include "src/walk/node2vec.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mto {
+
+Node2VecWalk::Node2VecWalk(RestrictedInterface& interface, Rng& rng,
+                           NodeId start, double p, double q)
+    : Sampler(interface, rng, start), p_(p), q_(q) {
+  if (!(p > 0.0) || !(q > 0.0)) {
+    throw std::invalid_argument("Node2VecWalk: p and q must be > 0");
+  }
+}
+
+NodeId Node2VecWalk::Step() {
+  auto target = ProposeStep();
+  return target ? CommitStep(*target) : current();
+}
+
+NodeId Node2VecWalk::PickTarget(std::span<const NodeId> cur_neighbors,
+                                std::span<const NodeId> prev_neighbors,
+                                bool prev_ok) {
+  if (!prev_ok) {
+    // First step after construction/teleport, or N(prev) unavailable (only
+    // possible once a budget denies re-reads): deterministic uniform pick.
+    return cur_neighbors[static_cast<size_t>(
+        rng().UniformInt(cur_neighbors.size()))];
+  }
+  // Neighbor lists are sorted (Graph contract), so membership in N(prev)
+  // is a binary search. One UniformDouble draw regardless of the outcome.
+  const auto weight_of = [&](NodeId x) {
+    if (prev_ && x == *prev_) return 1.0 / p_;
+    if (std::binary_search(prev_neighbors.begin(), prev_neighbors.end(), x)) {
+      return 1.0;
+    }
+    return 1.0 / q_;
+  };
+  double total = 0.0;
+  for (NodeId x : cur_neighbors) total += weight_of(x);
+  const double roll = rng().UniformDouble() * total;
+  double acc = 0.0;
+  for (NodeId x : cur_neighbors) {
+    acc += weight_of(x);
+    if (roll < acc) return x;
+  }
+  // Floating-point slack on the last bucket.
+  return cur_neighbors.back();
+}
+
+std::optional<NodeId> Node2VecWalk::ProposeStep() {
+  auto r = interface().QueryRef(current());
+  if (!r || r->neighbors.empty()) return std::nullopt;
+  if (!prev_) return PickTarget(r->neighbors, {}, false);
+  // Non-counting read: prev is self-cached whenever set (the walk queried
+  // it while standing on it), so this only misses after budget exhaustion —
+  // where the fallback keeps the walk deterministic per execution shape.
+  auto rp = interface().PeekCached(*prev_);
+  if (!rp) return PickTarget(r->neighbors, {}, false);
+  return PickTarget(r->neighbors, rp->neighbors, true);
+}
+
+NodeId Node2VecWalk::CommitStep(NodeId target) {
+  if (interface().QueryRef(target)) {
+    prev_ = current();
+    set_current(target);
+  }
+  return current();
+}
+
+void Node2VecWalk::PeekNextTargets(size_t width, std::vector<NodeId>& out) {
+  if (width == 0) return;
+  auto r = interface().PeekCached(current());
+  if (!r || r->neighbors.empty()) return;
+  const auto saved = rng().SaveState();
+  NodeId target;
+  if (!prev_) {
+    target = PickTarget(r->neighbors, {}, false);
+  } else if (auto rp = interface().PeekCached(*prev_)) {
+    target = PickTarget(r->neighbors, rp->neighbors, true);
+  } else {
+    target = PickTarget(r->neighbors, {}, false);
+  }
+  rng().RestoreState(saved);
+  out.push_back(target);
+}
+
+void Node2VecWalk::Teleport(NodeId node) {
+  Sampler::Teleport(node);
+  prev_.reset();
+}
+
+double Node2VecWalk::CurrentDegreeForDiagnostic() {
+  auto r = interface().QueryRef(current());
+  return r ? static_cast<double>(r->degree()) : 0.0;
+}
+
+double Node2VecWalk::ImportanceWeight() {
+  auto r = interface().QueryRef(current());
+  if (!r || r->degree() == 0) return 0.0;
+  return 1.0 / static_cast<double>(r->degree());
+}
+
+}  // namespace mto

@@ -123,6 +123,17 @@ class Sampler {
   /// Moves the walk to `node` without transition semantics (restart).
   virtual void Teleport(NodeId node) { current_ = node; }
 
+  /// Second-order state (walks whose frontier is `(prev, cur)` rather than
+  /// one node — WalkProgram::FrontierShape::kSecondOrder): the node the
+  /// walk stood on before its last move, or std::nullopt when no move has
+  /// happened yet (fresh walk, or right after a Teleport). One-node walks
+  /// keep the defaults. Checkpointing captures this register alongside the
+  /// position and RNG state (CrawlScheduler::WalkerState), and restores it
+  /// via `RestorePrevious` *after* the Teleport that repositions the walk
+  /// (Teleport clears the register on second-order walks).
+  virtual std::optional<NodeId> PreviousNode() const { return std::nullopt; }
+  virtual void RestorePrevious(std::optional<NodeId> prev) { (void)prev; }
+
  protected:
   RestrictedInterface& interface() { return *interface_; }
   const RestrictedInterface& interface() const { return *interface_; }

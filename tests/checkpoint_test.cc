@@ -49,6 +49,9 @@ ServiceCheckpoint MakeCheckpoint() {
   second.delta.registered = {8};
   second.delta.processed = {(uint64_t{8} << 32) | 9};
   ckpt.overlays.push_back(second);
+  // Second-order walker section (v3): walker 0 mid-edge, walker 1 fresh.
+  ckpt.second_order.push_back({1, 3});
+  ckpt.second_order.push_back({0, 0});
   return ckpt;
 }
 
@@ -93,6 +96,10 @@ TEST(CheckpointTest, SaveLoadRoundTripsEveryField) {
   EXPECT_EQ(loaded.overlays[1].delta.processed,
             saved.overlays[1].delta.processed);
   EXPECT_TRUE(loaded.overlays[1].delta.removed.empty());
+  ASSERT_EQ(loaded.second_order.size(), 2u);
+  EXPECT_EQ(loaded.second_order[0].has_prev, 1u);
+  EXPECT_EQ(loaded.second_order[0].prev, 3u);
+  EXPECT_EQ(loaded.second_order[1].has_prev, 0u);
   std::remove(path.c_str());
 }
 
@@ -135,8 +142,12 @@ TEST(CheckpointTest, FutureVersionFailsLoudly) {
     EXPECT_NE(std::string(e.what()).find("version 99"), std::string::npos)
         << e.what();
   }
-  // Older versions (pre-overlay format) are rejected too.
+  // Older versions are rejected too — v1 (pre-overlay) and v2 (pre-
+  // second-order-section). A v3 loader never silently downgrades.
   bytes[8] = 1;
+  WriteAll(path, bytes);
+  EXPECT_THROW(ServiceCheckpoint::Load(path), std::runtime_error);
+  bytes[8] = 2;
   WriteAll(path, bytes);
   EXPECT_THROW(ServiceCheckpoint::Load(path), std::runtime_error);
   std::remove(path.c_str());
@@ -234,21 +245,29 @@ TEST(CheckpointFuzzTest, ImplausibleCountsAreRejectedBeforeAllocating) {
   std::remove(path.c_str());
 }
 
-TEST(CheckpointTest, OverlayChecksumMismatchFailsLoudly) {
+TEST(CheckpointTest, SectionChecksumMismatchFailsLoudly) {
   const std::string path = TempPath("checksum");
   MakeCheckpoint().Save(path);
   const std::vector<char> pristine = ReadAll(path);
-  // The overlay section ends the file: ... payload ..., checksum u64. Flip
-  // a bit inside the last payload word (an overlay edge key) and inside
-  // the stored checksum itself; both must be caught.
-  for (size_t offset_from_end : {size_t{9}, size_t{1}}) {
+  // The file ends with the two checksummed sections, back to back:
+  //   ... overlay payload ..., overlay checksum u64,
+  //   second-order count u64, 2 x (has_prev u8 + prev u32),
+  //   second-order checksum u64
+  // so the trailing second-order section is 8 + 2*5 + 8 = 26 bytes. Flip a
+  // bit inside each section's last payload word and inside each stored
+  // checksum; all four must be caught as checksum mismatches.
+  for (size_t offset_from_end :
+       {size_t{1},     // second-order stored checksum
+        size_t{9},     // second-order payload (walker 1's prev word)
+        size_t{27},    // overlay stored checksum
+        size_t{35}}) { // overlay payload (last processed edge key)
     SCOPED_TRACE("offset_from_end=" + std::to_string(offset_from_end));
     std::vector<char> bytes = pristine;
     bytes[bytes.size() - offset_from_end] ^= 0x40;
     WriteAll(path, bytes);
     try {
       ServiceCheckpoint::Load(path);
-      FAIL() << "corrupted overlay accepted";
+      FAIL() << "corrupted section accepted";
     } catch (const std::runtime_error& e) {
       EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos)
           << e.what();
@@ -257,6 +276,20 @@ TEST(CheckpointTest, OverlayChecksumMismatchFailsLoudly) {
   // The pristine bytes still load (the test corrupts, not the save path).
   WriteAll(path, pristine);
   EXPECT_NO_THROW(ServiceCheckpoint::Load(path));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, SecondOrderSectionCannotBeSilentlyDropped) {
+  // A v3 image with its trailing second-order section cut off must be
+  // rejected as truncated — never parsed as if it were a v2 file.
+  const std::string path = TempPath("no_downgrade");
+  MakeCheckpoint().Save(path);
+  const std::vector<char> bytes = ReadAll(path);
+  const size_t section_bytes = 8 + 2 * 5 + 8;  // count, 2 records, checksum
+  ASSERT_GT(bytes.size(), section_bytes);
+  WriteAll(path, {bytes.begin(),
+                  bytes.begin() + (bytes.size() - section_bytes)});
+  EXPECT_THROW(ServiceCheckpoint::Load(path), std::runtime_error);
   std::remove(path.c_str());
 }
 
