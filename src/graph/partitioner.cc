@@ -1,0 +1,16 @@
+#include "src/graph/partitioner.h"
+
+#include <stdexcept>
+
+namespace mto {
+
+GraphPartitioner::GraphPartitioner(NodeId num_nodes, NodeId block_size)
+    : num_nodes_(num_nodes), block_size_(block_size) {
+  if (block_size == 0) {
+    throw std::invalid_argument("GraphPartitioner: block_size must be >= 1");
+  }
+  num_blocks_ =
+      num_nodes == 0 ? 0 : static_cast<uint32_t>((num_nodes - 1) / block_size + 1);
+}
+
+}  // namespace mto

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/graph/graph.h"
+
+namespace mto {
+
+/// Splits the node-id space [0, num_nodes) into contiguous fixed-width
+/// blocks for block-major walk scheduling (randgraph-style): walkers are
+/// bucketed by the block holding their current position, and the scheduler
+/// loads/evicts session-cache entries a block at a time.
+///
+/// Blocks are a pure function of (num_nodes, block_size) — no per-run
+/// state — so the same partition is rebuilt identically on checkpoint
+/// resume from the scenario config alone. The partitioner is a tiny value
+/// type; holders copy it by value rather than sharing ownership.
+class GraphPartitioner {
+ public:
+  GraphPartitioner() = default;
+
+  /// Throws std::invalid_argument when block_size == 0.
+  GraphPartitioner(NodeId num_nodes, NodeId block_size);
+
+  NodeId num_nodes() const { return num_nodes_; }
+  NodeId block_size() const { return block_size_; }
+  uint32_t num_blocks() const { return num_blocks_; }
+
+  /// Block index owning node v. Precondition: v < num_nodes().
+  uint32_t BlockOf(NodeId v) const { return v / block_size_; }
+
+  /// First node id in block b. Precondition: b < num_blocks().
+  NodeId BlockBegin(uint32_t b) const { return b * block_size_; }
+
+  /// One past the last node id in block b (the final block may be short).
+  NodeId BlockEnd(uint32_t b) const {
+    const NodeId end = (b + 1) * block_size_;
+    return end < num_nodes_ ? end : num_nodes_;
+  }
+
+  /// Number of node ids in block b.
+  NodeId BlockWidth(uint32_t b) const { return BlockEnd(b) - BlockBegin(b); }
+
+ private:
+  NodeId num_nodes_ = 0;
+  NodeId block_size_ = 1;
+  uint32_t num_blocks_ = 0;
+};
+
+}  // namespace mto

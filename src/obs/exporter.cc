@@ -319,6 +319,13 @@ void IntrospectionServer::HandleConnection(int fd) {
   }
   const std::string method = line.substr(0, sp1);
   std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  // "GET/metrics HTTP/1.1" parses as method="GET/metrics", path="HTTP/1.1";
+  // requiring a non-empty method and an absolute path rejects every such
+  // space-starved shape instead of deriving a garbage route.
+  if (method.empty() || path.empty() || path[0] != '/') {
+    Respond(fd, 400, "text/plain", "malformed request line\n");
+    return;
+  }
   const size_t query = path.find('?');
   if (query != std::string::npos) path.resize(query);
   if (method != "GET" && method != "POST") {

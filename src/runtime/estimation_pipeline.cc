@@ -29,8 +29,11 @@ void EstimationPipeline::SetObservability(obs::MetricsRegistry* registry,
 void EstimationPipeline::PushDiagnostics(std::span<const double> thetas) {
   for (double theta : thetas) {
     queue_.Push(Item{Item::Kind::kDiagnostic, theta, 0.0, 0});
-    ObsAdd(metrics_.queue_depth, 1);
   }
+  // Publish the queue's own (clamped) size rather than a producer-side
+  // increment racing a consumer-side decrement, which could surface a
+  // transient negative depth in a metrics snapshot.
+  ObsSet(metrics_.queue_depth, static_cast<int64_t>(queue_.SizeApprox()));
   pushed_diagnostics_ += thetas.size();
   ObsAdd(metrics_.diagnostics, thetas.size());
 }
@@ -48,7 +51,7 @@ bool EstimationPipeline::ConvergedAfter(size_t num_observations) {
 void EstimationPipeline::PushSample(double value, double weight,
                                     uint64_t query_cost) {
   queue_.Push(Item{Item::Kind::kSample, value, weight, query_cost});
-  ObsAdd(metrics_.queue_depth, 1);
+  ObsSet(metrics_.queue_depth, static_cast<int64_t>(queue_.SizeApprox()));
   ObsAdd(metrics_.samples);
 }
 
@@ -71,7 +74,7 @@ EstimationPipeline::Result EstimationPipeline::Finish() {
 void EstimationPipeline::ConsumerLoop() {
   Item item;
   while (queue_.Pop(item)) {
-    ObsAdd(metrics_.queue_depth, -1);
+    ObsSet(metrics_.queue_depth, static_cast<int64_t>(queue_.SizeApprox()));
     switch (item.kind) {
       case Item::Kind::kDiagnostic: {
         monitor_.Add(item.value);

@@ -77,10 +77,13 @@ class SpscQueue {
 
   bool closed() const { return closed_.load(std::memory_order_acquire); }
 
-  /// Racy size estimate (either side may call; diagnostics only).
+  /// Racy size estimate (either side may call; diagnostics only). Load
+  /// head_ before tail_: reading the producer side last means a concurrent
+  /// Push/Pop pair can only make the snapshot momentarily *understate*
+  /// depth, never overstate it past what was ever enqueued.
   size_t SizeApprox() const {
-    const size_t tail = tail_.load(std::memory_order_acquire);
     const size_t head = head_.load(std::memory_order_acquire);
+    const size_t tail = tail_.load(std::memory_order_acquire);
     return tail >= head ? tail - head : 0;
   }
 

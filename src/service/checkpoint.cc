@@ -200,6 +200,24 @@ void ServiceCheckpoint::Save(const std::string& path) const {
       w.U32(record.prev);
     }
     w.U64(so_checksum.hash());
+
+    // Block-residency section (v4): spilled entries + loaded-block LRU,
+    // checksummed like the sections before it; empty under walker-major
+    // scheduling but always written (fixed section order, no optionality).
+    SectionChecksum res_checksum;
+    res_checksum.Mix(residency.spilled.size());
+    w.U64(residency.spilled.size());
+    for (NodeId v : residency.spilled) {
+      res_checksum.Mix(v);
+      w.U32(v);
+    }
+    res_checksum.Mix(residency.loaded_blocks.size());
+    w.U64(residency.loaded_blocks.size());
+    for (uint32_t b : residency.loaded_blocks) {
+      res_checksum.Mix(b);
+      w.U32(b);
+    }
+    w.U64(res_checksum.hash());
     // Flush + close before the rename so buffered-write errors surface
     // while the previous checkpoint is still intact on disk.
     out.flush();
@@ -233,7 +251,7 @@ ServiceCheckpoint ServiceCheckpoint::Load(const std::string& path) {
     throw std::runtime_error(
         "checkpoint: unsupported version " + std::to_string(version) +
         (version > kVersion ? " (written by a future build)"
-                            : " (predates the second-order walker section)"));
+                            : " (predates the block-residency section)"));
   }
   ServiceCheckpoint ckpt;
   ckpt.config_fingerprint = r.U64();
@@ -337,6 +355,25 @@ ServiceCheckpoint ServiceCheckpoint::Load(const std::string& path) {
   if (r.U64() != so_checksum.hash()) {
     throw std::runtime_error(
         "checkpoint: second-order-section checksum mismatch in " + path);
+  }
+
+  // Block-residency section (v4), checksummed like the ones before it.
+  SectionChecksum res_checksum;
+  ckpt.residency.spilled.resize(r.Count(kMaxCount, 4));
+  res_checksum.Mix(ckpt.residency.spilled.size());
+  for (NodeId& v : ckpt.residency.spilled) {
+    v = r.U32();
+    res_checksum.Mix(v);
+  }
+  ckpt.residency.loaded_blocks.resize(r.Count(1 << 24, 4));
+  res_checksum.Mix(ckpt.residency.loaded_blocks.size());
+  for (uint32_t& b : ckpt.residency.loaded_blocks) {
+    b = r.U32();
+    res_checksum.Mix(b);
+  }
+  if (r.U64() != res_checksum.hash()) {
+    throw std::runtime_error(
+        "checkpoint: block-residency-section checksum mismatch in " + path);
   }
   return ckpt;
 }

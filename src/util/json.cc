@@ -153,24 +153,37 @@ class Parser {
         case 'r': out.push_back('\r'); break;
         case 't': out.push_back('\t'); break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) Fail("short \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else Fail("bad \\u escape");
+          unsigned code = ReadHexQuad();
+          if (code >= 0xDC00 && code <= 0xDFFF) {
+            Fail("lone low surrogate in \\u escape");
           }
-          // Encode the BMP code point as UTF-8 (surrogates unsupported).
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // UTF-16 surrogate pair: a high surrogate must be followed by
+            // an escaped low surrogate; together they name one non-BMP
+            // code point.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              Fail("lone high surrogate in \\u escape");
+            }
+            pos_ += 2;
+            const unsigned low = ReadHexQuad();
+            if (low < 0xDC00 || low > 0xDFFF) {
+              Fail("high surrogate not followed by a low surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          }
           if (code < 0x80) {
             out.push_back(static_cast<char>(code));
           } else if (code < 0x800) {
             out.push_back(static_cast<char>(0xC0 | (code >> 6)));
             out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-          } else {
+          } else if (code < 0x10000) {
             out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
             out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
             out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
           }
@@ -180,6 +193,20 @@ class Parser {
           Fail("unknown escape");
       }
     }
+  }
+
+  unsigned ReadHexQuad() {
+    if (pos_ + 4 > text_.size()) Fail("short \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else Fail("bad \\u escape");
+    }
+    return code;
   }
 
   JsonValue ParseNumber() {

@@ -52,6 +52,9 @@ ServiceCheckpoint MakeCheckpoint() {
   // Second-order walker section (v3): walker 0 mid-edge, walker 1 fresh.
   ckpt.second_order.push_back({1, 3});
   ckpt.second_order.push_back({0, 0});
+  // Block-residency section (v4): two spilled entries, one loaded block.
+  ckpt.residency.spilled = {2, 8};
+  ckpt.residency.loaded_blocks = {0};
   return ckpt;
 }
 
@@ -100,6 +103,8 @@ TEST(CheckpointTest, SaveLoadRoundTripsEveryField) {
   EXPECT_EQ(loaded.second_order[0].has_prev, 1u);
   EXPECT_EQ(loaded.second_order[0].prev, 3u);
   EXPECT_EQ(loaded.second_order[1].has_prev, 0u);
+  EXPECT_EQ(loaded.residency.spilled, saved.residency.spilled);
+  EXPECT_EQ(loaded.residency.loaded_blocks, saved.residency.loaded_blocks);
   std::remove(path.c_str());
 }
 
@@ -142,14 +147,14 @@ TEST(CheckpointTest, FutureVersionFailsLoudly) {
     EXPECT_NE(std::string(e.what()).find("version 99"), std::string::npos)
         << e.what();
   }
-  // Older versions are rejected too — v1 (pre-overlay) and v2 (pre-
-  // second-order-section). A v3 loader never silently downgrades.
-  bytes[8] = 1;
-  WriteAll(path, bytes);
-  EXPECT_THROW(ServiceCheckpoint::Load(path), std::runtime_error);
-  bytes[8] = 2;
-  WriteAll(path, bytes);
-  EXPECT_THROW(ServiceCheckpoint::Load(path), std::runtime_error);
+  // Older versions are rejected too — v1 (pre-overlay), v2 (pre-
+  // second-order-section), and v3 (pre-block-residency-section). A v4
+  // loader never silently downgrades.
+  for (char version : {char{1}, char{2}, char{3}}) {
+    bytes[8] = version;
+    WriteAll(path, bytes);
+    EXPECT_THROW(ServiceCheckpoint::Load(path), std::runtime_error);
+  }
   std::remove(path.c_str());
 }
 
@@ -249,18 +254,25 @@ TEST(CheckpointTest, SectionChecksumMismatchFailsLoudly) {
   const std::string path = TempPath("checksum");
   MakeCheckpoint().Save(path);
   const std::vector<char> pristine = ReadAll(path);
-  // The file ends with the two checksummed sections, back to back:
+  // The file ends with the three checksummed sections, back to back:
   //   ... overlay payload ..., overlay checksum u64,
   //   second-order count u64, 2 x (has_prev u8 + prev u32),
-  //   second-order checksum u64
-  // so the trailing second-order section is 8 + 2*5 + 8 = 26 bytes. Flip a
-  // bit inside each section's last payload word and inside each stored
-  // checksum; all four must be caught as checksum mismatches.
+  //   second-order checksum u64,
+  //   spilled count u64, 2 x u32, loaded count u64, 1 x u32,
+  //   residency checksum u64
+  // so the trailing residency section is 8 + 2*4 + 8 + 4 + 8 = 36 bytes
+  // and the second-order section before it is 8 + 2*5 + 8 = 26. Flip a bit
+  // inside each section's payload and inside each stored checksum; all six
+  // must be caught as checksum mismatches. (Count words are excluded: a
+  // flipped count is caught earlier, as an implausible count.)
   for (size_t offset_from_end :
-       {size_t{1},     // second-order stored checksum
-        size_t{9},     // second-order payload (walker 1's prev word)
-        size_t{27},    // overlay stored checksum
-        size_t{35}}) { // overlay payload (last processed edge key)
+       {size_t{1},     // residency stored checksum
+        size_t{9},     // residency payload (the loaded-block word)
+        size_t{21},    // residency payload (spilled id 8)
+        size_t{37},    // second-order stored checksum
+        size_t{45},    // second-order payload (walker 1's prev word)
+        size_t{63},    // overlay stored checksum
+        size_t{71}}) { // overlay payload (last processed edge key)
     SCOPED_TRACE("offset_from_end=" + std::to_string(offset_from_end));
     std::vector<char> bytes = pristine;
     bytes[bytes.size() - offset_from_end] ^= 0x40;
@@ -279,17 +291,22 @@ TEST(CheckpointTest, SectionChecksumMismatchFailsLoudly) {
   std::remove(path.c_str());
 }
 
-TEST(CheckpointTest, SecondOrderSectionCannotBeSilentlyDropped) {
-  // A v3 image with its trailing second-order section cut off must be
-  // rejected as truncated — never parsed as if it were a v2 file.
+TEST(CheckpointTest, TrailingSectionsCannotBeSilentlyDropped) {
+  // A v4 image with trailing sections cut off must be rejected as
+  // truncated — never parsed as if it were an older-version file. Cut the
+  // residency section alone, then residency + second-order together.
   const std::string path = TempPath("no_downgrade");
   MakeCheckpoint().Save(path);
   const std::vector<char> bytes = ReadAll(path);
-  const size_t section_bytes = 8 + 2 * 5 + 8;  // count, 2 records, checksum
-  ASSERT_GT(bytes.size(), section_bytes);
-  WriteAll(path, {bytes.begin(),
-                  bytes.begin() + (bytes.size() - section_bytes)});
-  EXPECT_THROW(ServiceCheckpoint::Load(path), std::runtime_error);
+  const size_t residency_bytes = 8 + 2 * 4 + 8 + 4 + 8;
+  const size_t second_order_bytes = 8 + 2 * 5 + 8;
+  for (size_t cut :
+       {residency_bytes, residency_bytes + second_order_bytes}) {
+    SCOPED_TRACE("cut=" + std::to_string(cut));
+    ASSERT_GT(bytes.size(), cut);
+    WriteAll(path, {bytes.begin(), bytes.begin() + (bytes.size() - cut)});
+    EXPECT_THROW(ServiceCheckpoint::Load(path), std::runtime_error);
+  }
   std::remove(path.c_str());
 }
 

@@ -30,8 +30,10 @@ struct HttpResponse {
   std::string body;
 };
 
-/// Minimal blocking HTTP GET against 127.0.0.1:port.
-HttpResponse HttpGet(uint16_t port, const std::string& path) {
+/// Sends raw bytes to 127.0.0.1:port and parses whatever comes back
+/// (status 0 on transport failure). Raw on purpose: the malformed-request
+/// regression below needs request lines no well-behaved client would send.
+HttpResponse HttpExchange(uint16_t port, const std::string& request) {
   HttpResponse response;
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return response;
@@ -43,9 +45,6 @@ HttpResponse HttpGet(uint16_t port, const std::string& path) {
     ::close(fd);
     return response;
   }
-  const std::string request = "GET " + path +
-                              " HTTP/1.1\r\nHost: localhost\r\n"
-                              "Connection: close\r\n\r\n";
   size_t sent = 0;
   while (sent < request.size()) {
     const ssize_t n =
@@ -67,6 +66,13 @@ HttpResponse HttpGet(uint16_t port, const std::string& path) {
   const size_t split = raw.find("\r\n\r\n");
   if (split != std::string::npos) response.body = raw.substr(split + 4);
   return response;
+}
+
+/// Minimal blocking HTTP GET against 127.0.0.1:port.
+HttpResponse HttpGet(uint16_t port, const std::string& path) {
+  return HttpExchange(port, "GET " + path +
+                                " HTTP/1.1\r\nHost: localhost\r\n"
+                                "Connection: close\r\n\r\n");
 }
 
 ScenarioConfig LiveScenario() {
@@ -276,6 +282,37 @@ TEST(ExporterTest, EndpointsServeARealRun) {
   // allow_quit defaults off: a scrape can never stop the crawl.
   EXPECT_EQ(HttpGet(port, "/quitquitquit").status, 403);
   EXPECT_FALSE(service.exporter()->QuitRequested());
+}
+
+TEST(ExporterTest, MalformedRequestLinesGet400NotGarbageRoutes) {
+  // Regression: "GET/metrics HTTP/1.1" (missing the space after the
+  // method) used to split into method="GET/metrics", path="HTTP/1.1" —
+  // request lines without three well-formed tokens must 400, never be
+  // derived into a route or a 404/405 for a path the client never named.
+  ScenarioConfig config = LiveScenario();
+  CrawlService service(config);
+  const uint16_t port = *service.http_port();
+  const char* kMalformed[] = {
+      "GET/metrics HTTP/1.1",    // one space: no third token
+      "GET/metrics HTTP/1.1 x",  // two spaces, path "HTTP/1.1"
+      "GET metrics HTTP/1.1",    // path not absolute
+      " /metrics HTTP/1.1",      // empty method
+      "GET  HTTP/1.1",           // empty path
+      "GET",                     // no spaces at all
+  };
+  for (const char* line : kMalformed) {
+    SCOPED_TRACE(line);
+    EXPECT_EQ(HttpExchange(port, std::string(line) +
+                                     "\r\nConnection: close\r\n\r\n")
+                  .status,
+              400);
+  }
+  // Control: the same exchange path with a well-formed line still routes.
+  EXPECT_EQ(
+      HttpExchange(port, "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+          .status,
+      200);
+  service.Run();
 }
 
 TEST(ExporterTest, ReportIsLiveMidRun) {

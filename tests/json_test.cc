@@ -36,6 +36,34 @@ TEST(JsonTest, ParsesStringEscapes) {
   EXPECT_EQ(ParseJson(R"("a\"b\\c\nd\tA")").AsString(), "a\"b\\c\nd\tA");
 }
 
+TEST(JsonTest, DecodesUnicodeEscapesAsUtf8) {
+  EXPECT_EQ(ParseJson(R"("\u0041")").AsString(), "A");            // 1 byte
+  EXPECT_EQ(ParseJson(R"("\u00e9")").AsString(), "\xC3\xA9");     // 2 bytes
+  EXPECT_EQ(ParseJson(R"("\u20AC")").AsString(), "\xE2\x82\xAC");  // 3 bytes
+  // Surrogate pairs decode to one astral code point (4-byte UTF-8), not
+  // two garbage 3-byte sequences: U+1F600, then the last point U+10FFFF.
+  EXPECT_EQ(ParseJson(R"("\uD83D\uDE00")").AsString(), "\xF0\x9F\x98\x80");
+  EXPECT_EQ(ParseJson(R"("\uDBFF\uDFFF")").AsString(), "\xF4\x8F\xBF\xBF");
+}
+
+TEST(JsonTest, SurrogatePairsRoundTripThroughDump) {
+  // Dump emits the decoded UTF-8 bytes raw (they are above 0x1F), so
+  // parse -> dump -> parse is the identity on astral characters.
+  const JsonValue v = ParseJson(R"({"emoji": "\uD83D\uDE00 ok"})");
+  const JsonValue again = ParseJson(DumpJson(v));
+  EXPECT_EQ(again.At("emoji").AsString(), v.At("emoji").AsString());
+  EXPECT_EQ(again.At("emoji").AsString(), "\xF0\x9F\x98\x80 ok");
+}
+
+TEST(JsonTest, LoneAndMalformedSurrogatesAreRejected) {
+  EXPECT_THROW(ParseJson(R"("\uD800")"), std::runtime_error);  // lone high
+  EXPECT_THROW(ParseJson(R"("\uDC00")"), std::runtime_error);  // lone low
+  EXPECT_THROW(ParseJson(R"("\uD800A")"), std::runtime_error);
+  EXPECT_THROW(ParseJson(R"("\uD800\u0041")"), std::runtime_error);
+  EXPECT_THROW(ParseJson(R"("\uD8")"), std::runtime_error);  // short escape
+  EXPECT_THROW(ParseJson(R"("\uD83D\uD83D")"), std::runtime_error);
+}
+
 TEST(JsonTest, AsUintRejectsFractionsNegativesAndOverflow) {
   EXPECT_EQ(ParseJson("42").AsUint(), 42u);
   EXPECT_THROW(ParseJson("1.5").AsUint(), std::runtime_error);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -65,6 +66,39 @@ TEST(SpscQueueTest, TransfersEverythingAcrossThreads) {
   consumer.join();
   EXPECT_EQ(consumer_count, kItems);
   EXPECT_EQ(consumer_sum, kItems * (kItems + 1) / 2);
+}
+
+TEST(SpscQueueTest, SizeApproxNeverWrapsUnderConcurrentTraffic) {
+  // Regression for the SizeApprox load order: reading tail_ (producer)
+  // before head_ (consumer) let a pop land between the two loads, making
+  // tail - head negative — which a size_t wraps to ~2^64. The fixed order
+  // reads head_ first, so the difference is bounded by items ever enqueued
+  // (it may exceed instantaneous depth, never the enqueue total), and the
+  // pipeline.queue_depth gauge built on it can never go negative. An
+  // observer hammers SizeApprox from a third thread: the estimate must
+  // stay within the total item count for the entire run.
+  SpscQueue<uint64_t> q(8);
+  constexpr uint64_t kItems = 60000;
+  std::atomic<bool> done{false};
+  uint64_t worst = 0;  // max sample seen; written by the observer only
+  std::thread observer([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const size_t size = q.SizeApprox();
+      if (size > worst) worst = size;
+    }
+  });
+  std::thread consumer([&] {
+    uint64_t v;
+    while (q.Pop(v)) {
+    }
+  });
+  for (uint64_t i = 0; i < kItems; ++i) q.Push(i);
+  q.Close();
+  consumer.join();
+  done.store(true, std::memory_order_release);
+  observer.join();
+  EXPECT_LE(worst, kItems);
+  EXPECT_EQ(q.SizeApprox(), 0u);  // quiescent: exact again
 }
 
 }  // namespace
